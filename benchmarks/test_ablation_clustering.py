@@ -1,0 +1,133 @@
+"""Ablations on the clustering side of CLEAR.
+
+DESIGN.md calls out three design choices the paper fixes without
+sweeping: the number of clusters K (= 4), the amount of unlabeled data
+used for cold-start assignment (10 %), and the sub-cluster depth used
+by CA.  These benches sweep each one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ColdStartAssigner,
+    GlobalClustering,
+    StandardScaler,
+    build_subclusters,
+    silhouette_score,
+    subject_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def maps_by(bench_dataset):
+    return {s.subject_id: list(s.maps) for s in bench_dataset.subjects}
+
+
+@pytest.fixture(scope="module")
+def gc4(maps_by):
+    return GlobalClustering(k=4, seed=0).fit(maps_by)
+
+
+def _ca_consistency(gc, assigner, maps_by, n_maps=1):
+    """Fraction of users CA routes to their GC cluster from n unlabeled maps."""
+    hits = sum(
+        assigner.assign(maps[:n_maps]).cluster == gc.assignments[sid]
+        for sid, maps in maps_by.items()
+    )
+    return hits / len(maps_by)
+
+
+def test_ablation_k_sweep(maps_by, bench_dataset, benchmark):
+    """Silhouette + archetype purity across K (the paper picks K = 4)."""
+
+    def run():
+        signatures = StandardScaler().fit_transform(subject_matrix(maps_by))
+        truth = bench_dataset.archetype_assignment()
+        ordered_ids = sorted(maps_by)
+        lines = ["Ablation -- cluster count K (paper fixes K = 4)"]
+        lines.append(f"{'K':>3}{'silhouette':>12}{'purity':>9}{'sizes':>20}")
+        results = {}
+        for k in (2, 3, 4, 5, 6):
+            gc = GlobalClustering(k=k, seed=0).fit(maps_by)
+            labels = np.array([gc.assignments[sid] for sid in ordered_ids])
+            sil = silhouette_score(signatures, labels)
+            purity = 0
+            for c in range(k):
+                members = gc.members(c)
+                if members:
+                    archetypes = [truth[m] for m in members]
+                    purity += max(archetypes.count(a) for a in set(archetypes))
+            purity /= len(ordered_ids)
+            sizes = sorted(gc.cluster_sizes(), reverse=True)
+            lines.append(f"{k:>3}{sil:>12.3f}{purity:>9.2f}{str(sizes):>20}")
+            results[k] = (sil, purity)
+        return "\n".join(lines), results
+
+    text, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + text)
+    # K = 4 (the true archetype count) should maximize purity.
+    best_purity_k = max(results, key=lambda k: results[k][1])
+    assert best_purity_k >= 4
+
+
+def test_ablation_ca_data_fraction(maps_by, gc4, benchmark):
+    """CA consistency vs amount of unlabeled data (paper uses 10 %)."""
+    subs = build_subclusters(gc4, maps_by, 3)
+    assigner = ColdStartAssigner(gc4, subs)
+
+    def run():
+        lines = ["Ablation -- unlabeled maps given to cold-start CA"]
+        lines.append(f"{'maps':>6}{'consistency':>13}")
+        series = {}
+        for n in (1, 2, 4, 8):
+            rate = _ca_consistency(gc4, assigner, maps_by, n_maps=n)
+            lines.append(f"{n:>6}{rate:>13.2f}")
+            series[n] = rate
+        return "\n".join(lines), series
+
+    text, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + text)
+    # More unlabeled data never hurts much; full data should be >= 1 map.
+    assert series[8] >= series[1] - 0.05
+    assert series[1] >= 0.6  # even one map mostly suffices (the cold start)
+
+
+def test_ablation_subcluster_depth(maps_by, gc4, benchmark):
+    """CA consistency vs sub-clusters per cluster I_k (paper's hierarchy)."""
+
+    def run():
+        lines = ["Ablation -- sub-clusters per cluster used by CA"]
+        lines.append(f"{'I_k':>5}{'consistency':>13}")
+        series = {}
+        for i_k in (1, 2, 3, 5):
+            subs = build_subclusters(gc4, maps_by, i_k)
+            assigner = ColdStartAssigner(gc4, subs)
+            rate = _ca_consistency(gc4, assigner, maps_by, n_maps=1)
+            lines.append(f"{i_k:>5}{rate:>13.2f}")
+            series[i_k] = rate
+        return "\n".join(lines), series
+
+    text, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + text)
+    assert all(rate >= 0.5 for rate in series.values())
+
+
+def test_ablation_gc_refinement(maps_by, benchmark):
+    """Effect of the iterative GC refinement loop vs plain k-means."""
+
+    def run():
+        plain = GlobalClustering(k=4, n_refinements=0, seed=0).fit(maps_by)
+        refined = GlobalClustering(k=4, n_refinements=10, seed=0).fit(maps_by)
+        moved = sum(
+            plain.assignments[sid] != refined.assignments[sid]
+            for sid in plain.assignments
+        )
+        return (
+            "Ablation -- GC refinement loop\n"
+            f"  users reassigned by refinement: {moved}/{len(plain.assignments)}\n"
+            f"  refined converged: {refined.converged} "
+            f"after {refined.n_refinements} rounds"
+        )
+
+    print("\n" + benchmark.pedantic(run, rounds=1, iterations=1))

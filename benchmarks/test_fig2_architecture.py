@@ -1,0 +1,57 @@
+"""Fig. 2: the CNN-LSTM architecture — structure, size, deployability.
+
+Fig. 2 of the paper shows the classifier: two convolutional blocks
+feeding an LSTM and a dense head.  This bench prints the layer table
+and MAC/parameter profile at the paper's input scale (123 x 8 feature
+maps) and microbenchmarks a single-map inference on the numpy
+substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, architecture_summary, build_cnn_lstm
+from repro.edge import profile_model
+
+PAPER_INPUT_SHAPE = (1, 123, 8)  # 123 features x 8 windows
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_cnn_lstm(PAPER_INPUT_SHAPE, ModelConfig(), seed=0)
+
+
+def test_fig2_architecture_table(model, benchmark):
+    def assemble():
+        profile = profile_model(model, PAPER_INPUT_SHAPE)
+        return (
+            "Fig. 2 -- CNN-LSTM architecture at paper scale\n"
+            + architecture_summary(PAPER_INPUT_SHAPE)
+            + "\n\n"
+            + profile.render()
+            + f"\n\nint8 parameter memory: {profile.memory_bytes(1) / 1024:.1f} KiB"
+            f" (fp32: {profile.memory_bytes(4) / 1024:.1f} KiB)"
+        )
+
+    print("\n" + benchmark.pedantic(assemble, rounds=1, iterations=1))
+
+    # Fig. 2 deployability claims.
+    profile = profile_model(model, PAPER_INPUT_SHAPE)
+    # Small checkpoint: the int8 parameter image fits in < 1 MiB.
+    assert profile.memory_bytes(1) < 1 << 20
+    # Exactly two conv blocks and one LSTM, as drawn.
+    kinds = [type(l).__name__ for l in model.layers]
+    assert kinds.count("Conv2D") == 2
+    assert kinds.count("LSTM") == 1
+    # Compute is dominated by the conv + LSTM blocks.
+    by_kind = profile.macs_by_kind()
+    heavy = by_kind.get("Conv2D", 0) + by_kind.get("LSTM", 0)
+    assert heavy > 0.9 * profile.total_macs
+    print("Fig. 2 deployability constraints hold")
+
+
+def test_single_map_inference_speed(model, benchmark):
+    """Microbenchmark: one feature-map forward pass (the edge 'Test' op)."""
+    x = np.random.default_rng(0).normal(size=(1,) + PAPER_INPUT_SHAPE)
+
+    benchmark(model.predict, x)

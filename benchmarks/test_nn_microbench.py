@@ -1,0 +1,75 @@
+"""Microbenchmarks of the numpy nn substrate (throughput sanity).
+
+Not a paper table; these pin the cost of the primitives every
+experiment above is built from, so performance regressions in the
+substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import build_cnn_lstm
+from repro.edge import QuantizedModel
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_layer(rng):
+    layer = nn.Conv2D(16, 3, padding="same")
+    x = rng.normal(size=(8, 8, 32, 32))
+    layer.ensure_built(x, rng)
+    return layer, x
+
+
+@pytest.fixture(scope="module")
+def lstm_layer(rng):
+    layer = nn.LSTM(64)
+    x = rng.normal(size=(8, 16, 128))
+    layer.ensure_built(x, rng)
+    return layer, x
+
+
+def test_conv2d_forward(conv_layer, benchmark):
+    layer, x = conv_layer
+    benchmark(layer.forward, x)
+
+
+def test_conv2d_backward(conv_layer, benchmark):
+    layer, x = conv_layer
+    out = layer.forward(x)
+    grad = np.ones_like(out)
+    benchmark(layer.backward, grad)
+
+
+def test_lstm_forward(lstm_layer, benchmark):
+    layer, x = lstm_layer
+    benchmark(layer.forward, x)
+
+
+def test_lstm_backward(lstm_layer, benchmark):
+    layer, x = lstm_layer
+    layer.forward(x)
+    grad = np.ones((8, 64))
+    benchmark(layer.backward, grad)
+
+
+def test_cnn_lstm_train_batch(rng, benchmark):
+    model = build_cnn_lstm((1, 123, 8), seed=0).compile(
+        "softmax_cross_entropy", nn.Adam(1e-3)
+    )
+    x = rng.normal(size=(16, 1, 123, 8))
+    y = rng.integers(0, 2, 16)
+    benchmark(model.train_batch, x, y)
+
+
+def test_float_vs_int8_inference(rng, benchmark):
+    model = build_cnn_lstm((1, 123, 8), seed=0)
+    x = rng.normal(size=(8, 1, 123, 8))
+    model.forward(x)
+    quantized = QuantizedModel(model, scheme="int8", calibration_x=x)
+    benchmark(quantized.predict, x)

@@ -1,0 +1,140 @@
+"""Table II (lower): post-fine-tuning accuracy + time / power per platform.
+
+The float fine-tuned checkpoint is re-quantized per platform (the int8
+TPU keeps paying its precision penalty after personalization), and the
+device cost models report MTC/MPC — mean time and power consumption for
+re-training and test — in the regime of the paper's measurements.
+"""
+
+import pytest
+
+from repro.core import FoldMetrics, MetricSummary
+from repro.edge import ALL_DEVICES, GPU_BASELINE, EdgeDeployment
+
+#: Paper Table II lower: accuracy/f1 after FT, and MTC/MPC rows.
+PAPER_LOWER = {
+    "GPU (baseline)": {"acc": 86.34, "f1": 86.03},
+    "Coral TPU": {
+        "acc": 79.40,
+        "f1": 79.14,
+        "retrain_s": 32.48,
+        "test_ms": 47.31,
+        "p_retrain": 1.82,
+        "p_test": 1.64,
+        "p_idle": 1.28,
+    },
+    "Pi + NCS2": {
+        "acc": 84.49,
+        "f1": 84.07,
+        "retrain_s": 78.52,
+        "test_ms": 239.70,
+        "p_retrain": 3.78,
+        "p_test": 3.43,
+        "p_idle": 2.76,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def finetuned_rows(edge_folds, bench_config):
+    rows = {}
+    costs = {}
+    for key, device in ALL_DEVICES.items():
+        summary = MetricSummary(device.name)
+        reports = []
+        for fold in edge_folds:
+            deployment = EdgeDeployment(
+                fold.tuned, device, calibration_maps=fold.calibration_maps
+            )
+            m = deployment.evaluate(fold.test_maps)
+            summary.add(FoldMetrics(m["accuracy"], m["f1"], fold.subject_id))
+            reports.append(
+                deployment.cost_report(
+                    fold.test_maps,
+                    ft_examples=fold.ft_examples,
+                    ft_epochs=bench_config.fine_tuning.epochs,
+                )
+            )
+        rows[key] = summary
+        costs[key] = reports
+    return rows, costs
+
+
+def _mean(reports, attr):
+    values = [getattr(r, attr) for r in reports]
+    return sum(values) / len(values)
+
+
+def test_table2_lower(finetuned_rows, edge_folds, benchmark):
+    rows, costs = finetuned_rows
+
+    def assemble():
+        lines = [
+            "Table II (lower) -- after on-device fine-tuning "
+            "(paper values in parentheses)"
+        ]
+        for key in ("gpu", "coral_tpu", "pi_ncs2"):
+            summary = rows[key]
+            paper = PAPER_LOWER[summary.name]
+            reports = costs[key]
+            lines.append(f"\n{summary.name}:")
+            lines.append(
+                f"  accuracy {summary.accuracy_mean:6.2f} +- "
+                f"{summary.accuracy_std:.2f}   (paper {paper['acc']:.2f})"
+            )
+            lines.append(
+                f"  f1       {summary.f1_mean:6.2f} +- "
+                f"{summary.f1_std:.2f}   (paper {paper['f1']:.2f})"
+            )
+            if "retrain_s" in paper:
+                lines.append(
+                    f"  MTC retrain {_mean(reports, 'retrain_time_s'):7.2f} s"
+                    f"    (paper {paper['retrain_s']:.2f} s)"
+                )
+                lines.append(
+                    f"  MTC test    {_mean(reports, 'test_time_s') * 1e3:7.2f} ms"
+                    f"   (paper {paper['test_ms']:.2f} ms)"
+                )
+                lines.append(
+                    f"  MPC retrain {reports[0].power_retrain_w:7.2f} W"
+                    f"    (paper {paper['p_retrain']:.2f} W)"
+                )
+                lines.append(
+                    f"  MPC test    {reports[0].power_test_w:7.2f} W"
+                    f"    (paper {paper['p_test']:.2f} W)"
+                )
+                lines.append(
+                    f"  MPC idle    {reports[0].power_idle_w:7.2f} W"
+                    f"    (paper {paper['p_idle']:.2f} W)"
+                )
+        return "\n".join(lines)
+
+    print("\n" + benchmark.pedantic(assemble, rounds=1, iterations=1))
+
+    # Table II (lower) orderings.
+    # 1. Post-FT, the fp32 GPU stays at or above the int8 TPU.
+    assert rows["gpu"].accuracy_mean >= rows["coral_tpu"].accuracy_mean
+    # 2. The TPU retrains and tests faster than the Pi + NCS2.
+    assert _mean(costs["coral_tpu"], "retrain_time_s") < _mean(
+        costs["pi_ncs2"], "retrain_time_s"
+    )
+    assert _mean(costs["coral_tpu"], "test_time_s") < _mean(
+        costs["pi_ncs2"], "test_time_s"
+    )
+    # 3. Times land within ~2x of the paper's magnitudes.
+    tpu_test_ms = _mean(costs["coral_tpu"], "test_time_s") * 1e3
+    ncs2_test_ms = _mean(costs["pi_ncs2"], "test_time_s") * 1e3
+    assert 20 < tpu_test_ms < 100  # paper 47.31 ms
+    assert 120 < ncs2_test_ms < 480  # paper 239.70 ms
+    # 4. Power: idle < test < retrain on each device; TPU < NCS2 overall.
+    tpu, ncs2 = costs["coral_tpu"][0], costs["pi_ncs2"][0]
+    assert tpu.power_idle_w < tpu.power_test_w < tpu.power_retrain_w
+    assert ncs2.power_idle_w < ncs2.power_test_w < ncs2.power_retrain_w
+    assert tpu.power_retrain_w < ncs2.power_retrain_w
+    # 5. Fine-tuning helps: lower-table GPU beats the pre-FT checkpoint.
+    pre = MetricSummary("pre")
+    for fold in edge_folds:
+        m = EdgeDeployment(fold.checkpoint, GPU_BASELINE).evaluate(fold.test_maps)
+        pre.add(FoldMetrics(m["accuracy"], m["f1"]))
+    assert rows["gpu"].accuracy_mean >= pre.accuracy_mean
+    print("all Table II (lower) orderings hold")

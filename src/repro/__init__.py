@@ -1,0 +1,34 @@
+"""repro: reproduction of "Solving the Cold-Start Problem for the Edge:
+Clustering and Adaptive Deep Learning for Emotion Detection" (DATE 2025).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy deep-learning framework (Conv2D, LSTM, Adam, ...).
+``repro.signals``
+    Physiological DSP and the 123-feature / feature-map front end.
+``repro.datasets``
+    Synthetic WEMAC-compatible corpus (archetype-structured volunteers).
+``repro.clustering``
+    k-means, internal indices, global clustering (GC), cold-start CA.
+``repro.core``
+    The CLEAR methodology: pipeline, CNN-LSTM, Table-I validation harness.
+``repro.edge``
+    Quantization + device cost models for the Table-II edge experiments.
+"""
+
+__version__ = "1.0.0"
+
+from . import clustering, core, datasets, edge, experiments, nn, signals, viz
+
+__all__ = [
+    "nn",
+    "signals",
+    "datasets",
+    "clustering",
+    "core",
+    "edge",
+    "experiments",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface for the CLEAR reproduction.
+
+Workflow-shaped subcommands::
+
+    python -m repro.cli generate --preset small --out corpus.npz
+    python -m repro.cli fit --corpus corpus.npz --out deploy/ --exclude 3
+    python -m repro.cli assign --system deploy/ --corpus corpus.npz --subject 3
+    python -m repro.cli evaluate --system deploy/ --corpus corpus.npz --subject 3
+    python -m repro.cli personalize --system deploy/ --corpus corpus.npz --subject 3
+
+(The tables/figures runner lives in ``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import CLEAR, CLEARConfig
+from .core.persistence import load_system, save_system
+from .datasets import SyntheticWEMAC, WEMACConfig, split_maps_by_fraction
+from .datasets.io import load_dataset, save_dataset
+
+PRESETS = {
+    "tiny": WEMACConfig.tiny,
+    "small": WEMACConfig.small,
+    "paper": lambda seed=0: WEMACConfig(seed=seed),
+}
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = PRESETS[args.preset](seed=args.seed)
+    print(f"generating corpus (preset={args.preset}, seed={args.seed})...")
+    dataset = SyntheticWEMAC(config).generate()
+    path = save_dataset(dataset, args.out)
+    summary = dataset.summary()
+    print(
+        f"wrote {path}: {int(summary['num_subjects'])} subjects, "
+        f"{int(summary['num_maps'])} feature maps"
+    )
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.corpus)
+    population = {
+        s.subject_id: list(s.maps)
+        for s in dataset.subjects
+        if s.subject_id != args.exclude
+    }
+    clear_config = (
+        CLEARConfig.paper(seed=args.seed)
+        if args.config == "paper"
+        else CLEARConfig.fast(seed=args.seed)
+    )
+    print(
+        f"fitting CLEAR on {len(population)} subjects "
+        f"(K={clear_config.num_clusters})..."
+    )
+    system = CLEAR(clear_config).fit(population)
+    save_system(system, args.out)
+    print(f"cluster sizes: {system.cluster_sizes()}")
+    print(f"saved deployment bundle to {args.out}")
+    return 0
+
+
+def _user_maps(args):
+    dataset = load_dataset(args.corpus)
+    record = dataset.subject(args.subject)
+    return record
+
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    record = _user_maps(args)
+    result = system.assign_new_user(record.maps[: args.maps])
+    scores = ", ".join(f"c{c}={s:.3f}" for c, s in sorted(result.scores.items()))
+    print(
+        f"subject {args.subject} -> cluster {result.cluster} "
+        f"(margin {result.margin():.3f}; scores {scores})"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    record = _user_maps(args)
+    if args.cluster is None:
+        cluster = system.assign_new_user(record.maps[: args.maps]).cluster
+        test_maps = record.maps[args.maps :]
+    else:
+        cluster = args.cluster
+        test_maps = list(record.maps)
+    metrics = system.model_for(cluster).evaluate(test_maps)
+    print(
+        f"subject {args.subject} on cluster {cluster}: "
+        f"accuracy {metrics['accuracy']:.2%}, F1 {metrics['f1']:.2%} "
+        f"({len(test_maps)} maps)"
+    )
+    return 0
+
+
+def cmd_personalize(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    record = _user_maps(args)
+    rng = np.random.default_rng(args.seed)
+    ca_maps, held_back = split_maps_by_fraction(
+        record.maps, system.config.ca_data_fraction, rng, stratified=False
+    )
+    cluster = system.assign_new_user(ca_maps).cluster
+    ft_fraction = system.config.ft_label_fraction / (
+        1.0 - system.config.ca_data_fraction
+    )
+    ft_maps, test_maps = split_maps_by_fraction(
+        held_back, ft_fraction, rng, stratified=True
+    )
+    before = system.model_for(cluster).evaluate(test_maps)
+    tuned = system.personalize(ft_maps, cluster=cluster)
+    after = tuned.evaluate(test_maps)
+    print(f"subject {args.subject} -> cluster {cluster}")
+    print(f"  before fine-tuning: accuracy {before['accuracy']:.2%}")
+    print(
+        f"  after fine-tuning with {len(ft_maps)} labelled maps: "
+        f"accuracy {after['accuracy']:.2%}"
+    )
+    if args.out:
+        from .nn.checkpoint import save_model
+
+        path = save_model(tuned.model, Path(args.out))
+        print(f"  personalized checkpoint written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="CLEAR cold-start emotion detection: workflow commands.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic WEMAC corpus")
+    p.add_argument("--preset", choices=sorted(PRESETS), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("fit", help="fit the CLEAR cloud stage")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--out", required=True, help="deployment directory")
+    p.add_argument("--exclude", type=int, default=None, help="held-out subject id")
+    p.add_argument("--config", choices=["fast", "paper"], default="fast")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("assign", help="cold-start cluster assignment")
+    p.add_argument("--system", required=True)
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--subject", type=int, required=True)
+    p.add_argument("--maps", type=int, default=1, help="unlabeled maps to use")
+    p.set_defaults(func=cmd_assign)
+
+    p = sub.add_parser("evaluate", help="evaluate a cluster model on a subject")
+    p.add_argument("--system", required=True)
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--subject", type=int, required=True)
+    p.add_argument("--cluster", type=int, default=None)
+    p.add_argument("--maps", type=int, default=1)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser(
+        "personalize", help="cold start + fine-tune for one subject"
+    )
+    p.add_argument("--system", required=True)
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--subject", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="save the tuned checkpoint here")
+    p.set_defaults(func=cmd_personalize)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Clustering substrate: k-means, quality indices, GC, sub-clusters, CA."""
+
+from .assignment import AssignmentResult, ColdStartAssigner
+from .global_clustering import (
+    GlobalClustering,
+    GlobalClusteringResult,
+    subject_matrix,
+)
+from .hierarchical import (
+    Dendrogram,
+    agglomerative_cluster,
+    agglomerative_labels,
+    cophenetic_heights,
+)
+from .kmeans import (
+    KMeans,
+    KMeansResult,
+    assign_to_centers,
+    kmeans_plus_plus_init,
+    pairwise_sq_distances,
+)
+from .metrics import (
+    calinski_harabasz_index,
+    cluster_sizes,
+    davies_bouldin_index,
+    inertia,
+    silhouette_score,
+)
+from .scaling import StandardScaler
+from .selection import KSelectionReport, elbow_k, select_k
+from .subclusters import SubClusterModel, build_subclusters
+
+__all__ = [
+    "Dendrogram",
+    "agglomerative_cluster",
+    "agglomerative_labels",
+    "cophenetic_heights",
+    "KMeans",
+    "KMeansResult",
+    "kmeans_plus_plus_init",
+    "pairwise_sq_distances",
+    "assign_to_centers",
+    "silhouette_score",
+    "davies_bouldin_index",
+    "calinski_harabasz_index",
+    "inertia",
+    "cluster_sizes",
+    "StandardScaler",
+    "select_k",
+    "elbow_k",
+    "KSelectionReport",
+    "GlobalClustering",
+    "GlobalClusteringResult",
+    "subject_matrix",
+    "SubClusterModel",
+    "build_subclusters",
+    "ColdStartAssigner",
+    "AssignmentResult",
+]

@@ -1,0 +1,175 @@
+"""Agglomerative (hierarchical) clustering from scratch.
+
+An alternative to k-means for the global clustering stage.  The paper
+uses the k-means-style refinement of [19]; hierarchical clustering is
+the standard comparator in the personalized-clustering literature, so
+it is included for the GC-algorithm ablation.
+
+Supports single / complete / average / Ward linkage via the
+Lance-Williams update, O(n^3) — fine for user-level clustering where
+n is tens of subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .kmeans import pairwise_sq_distances
+
+LINKAGES = ("single", "complete", "average", "ward")
+
+
+@dataclass
+class MergeStep:
+    """One agglomeration: clusters a and b merged at a given height."""
+
+    a: int
+    b: int
+    height: float
+    new_id: int
+    size: int
+
+
+@dataclass
+class Dendrogram:
+    """Full merge history of an agglomerative run."""
+
+    n_leaves: int
+    merges: List[MergeStep]
+
+    def cut(self, k: int) -> np.ndarray:
+        """Labels for a flat clustering with ``k`` clusters.
+
+        Undoes the last ``k - 1`` merges.  Labels are re-indexed to
+        0..k-1 in order of first appearance.
+        """
+        if not 1 <= k <= self.n_leaves:
+            raise ValueError(f"k must be in [1, {self.n_leaves}], got {k}")
+        parent = list(range(self.n_leaves + len(self.merges)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        # Apply all merges except the last k-1.
+        for step in self.merges[: self.n_leaves - k]:
+            parent[find(step.a)] = step.new_id
+            parent[find(step.b)] = step.new_id
+
+        roots: Dict[int, int] = {}
+        labels = np.empty(self.n_leaves, dtype=np.int64)
+        for leaf in range(self.n_leaves):
+            root = find(leaf)
+            if root not in roots:
+                roots[root] = len(roots)
+            labels[leaf] = roots[root]
+        return labels
+
+
+def _lance_williams(
+    linkage: str,
+    d_ai: float,
+    d_bi: float,
+    d_ab: float,
+    size_a: int,
+    size_b: int,
+    size_i: int,
+) -> float:
+    """Distance from merged cluster (a+b) to cluster i."""
+    if linkage == "single":
+        return min(d_ai, d_bi)
+    if linkage == "complete":
+        return max(d_ai, d_bi)
+    if linkage == "average":
+        total = size_a + size_b
+        return (size_a * d_ai + size_b * d_bi) / total
+    # Ward (distances are squared Euclidean here).
+    total = size_a + size_b + size_i
+    return (
+        (size_a + size_i) * d_ai + (size_b + size_i) * d_bi - size_i * d_ab
+    ) / total
+
+
+def agglomerative_cluster(
+    x: np.ndarray, linkage: str = "ward"
+) -> Dendrogram:
+    """Build the full dendrogram of ``x`` (n, F) under a linkage rule."""
+    if linkage not in LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; options: {LINKAGES}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[0] < 2:
+        raise ValueError(f"expected at least 2 samples of shape (n, F), got {x.shape}")
+    n = x.shape[0]
+
+    # Ward operates on squared distances; the geometric linkages on
+    # plain Euclidean distances.
+    dist = pairwise_sq_distances(x, x)
+    if linkage != "ward":
+        dist = np.sqrt(dist)
+    np.fill_diagonal(dist, np.inf)
+
+    active = {i: i for i in range(n)}  # row index -> cluster id
+    sizes = {i: 1 for i in range(n)}
+    merges: List[MergeStep] = []
+    next_id = n
+    d = dist.copy()
+
+    for _ in range(n - 1):
+        rows = sorted(active)
+        sub = d[np.ix_(rows, rows)]
+        flat = int(np.argmin(sub))
+        i_pos, j_pos = divmod(flat, len(rows))
+        ri, rj = rows[i_pos], rows[j_pos]
+        height = float(sub[i_pos, j_pos])
+        id_a, id_b = active[ri], active[rj]
+        size_a, size_b = sizes[id_a], sizes[id_b]
+
+        # Update distances from the merged cluster (stored in row ri).
+        for rk in rows:
+            if rk in (ri, rj):
+                continue
+            d_new = _lance_williams(
+                linkage,
+                float(d[ri, rk]),
+                float(d[rj, rk]),
+                height,
+                size_a,
+                size_b,
+                sizes[active[rk]],
+            )
+            d[ri, rk] = d[rk, ri] = d_new
+        d[rj, :] = np.inf
+        d[:, rj] = np.inf
+
+        merges.append(
+            MergeStep(
+                a=id_a,
+                b=id_b,
+                height=height,
+                new_id=next_id,
+                size=size_a + size_b,
+            )
+        )
+        sizes[next_id] = size_a + size_b
+        active[ri] = next_id
+        del active[rj]
+        next_id += 1
+
+    return Dendrogram(n_leaves=n, merges=merges)
+
+
+def agglomerative_labels(
+    x: np.ndarray, k: int, linkage: str = "ward"
+) -> np.ndarray:
+    """Convenience: flat k-cluster labels via agglomeration."""
+    return agglomerative_cluster(x, linkage).cut(k)
+
+
+def cophenetic_heights(dendrogram: Dendrogram) -> np.ndarray:
+    """Merge heights in order — monotone for well-behaved linkages."""
+    return np.array([m.height for m in dendrogram.merges])

@@ -1,0 +1,138 @@
+"""k-means clustering from scratch (k-means++ seeding, Lloyd iterations)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def pairwise_sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (n_samples, n_centers)."""
+    x = np.asarray(x, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 — one matmul instead of a loop.
+    x_sq = np.sum(x * x, axis=1, keepdims=True)
+    c_sq = np.sum(centers * centers, axis=1)
+    d = x_sq - 2.0 * (x @ centers.T) + c_sq
+    return np.maximum(d, 0.0)
+
+
+def kmeans_plus_plus_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii, 2007)."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = x[first]
+    closest_sq = pairwise_sq_distances(x, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points coincide with chosen centers; pick randomly.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centers[i] = x[idx]
+        new_sq = pairwise_sq_distances(x, centers[i : i + 1]).ravel()
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centers
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means fit."""
+
+    centers: np.ndarray  # (k, F)
+    labels: np.ndarray  # (n,)
+    inertia: float  # sum of squared distances to assigned centers
+    n_iter: int
+    converged: bool
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and multiple restarts.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    n_init:
+        Independent restarts; the lowest-inertia run wins.
+    max_iter, tol:
+        Lloyd iteration limits (tol on center movement).
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n_init: int = 8,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: Optional[int] = 0,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if n_init < 1:
+            raise ValueError(f"n_init must be >= 1, got {n_init}")
+        self.k = int(k)
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+
+    def _single_run(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> KMeansResult:
+        centers = kmeans_plus_plus_init(x, self.k, rng)
+        labels = np.zeros(x.shape[0], dtype=np.int64)
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            dists = pairwise_sq_distances(x, centers)
+            labels = dists.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if members.shape[0] > 0:
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = int(dists.min(axis=1).argmax())
+                    new_centers[j] = x[farthest]
+            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+            centers = new_centers
+            if shift < self.tol:
+                converged = True
+                break
+        dists = pairwise_sq_distances(x, centers)
+        labels = dists.argmin(axis=1)
+        inertia = float(dists[np.arange(x.shape[0]), labels].sum())
+        return KMeansResult(centers, labels, inertia, n_iter, converged)
+
+    def fit(self, x: np.ndarray) -> KMeansResult:
+        """Run ``n_init`` restarts and return the best result."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected (n, F) data, got shape {x.shape}")
+        if x.shape[0] < self.k:
+            raise ValueError(
+                f"cannot make {self.k} clusters from {x.shape[0]} samples"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: Optional[KMeansResult] = None
+        for _ in range(self.n_init):
+            result = self._single_run(x, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        return best
+
+
+def assign_to_centers(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Nearest-center labels for new data."""
+    return pairwise_sq_distances(np.atleast_2d(x), centers).argmin(axis=1)

@@ -1,0 +1,103 @@
+"""Internal clustering quality indices (no external labels needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import pairwise_sq_distances
+
+
+def _validate(x: np.ndarray, labels: np.ndarray) -> tuple:
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.shape[0] != labels.shape[0]:
+        raise ValueError("x and labels disagree on sample count")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("need at least 2 clusters for this index")
+    return x, labels, unique
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples (in [-1, 1])."""
+    x, labels, unique = _validate(x, labels)
+    n = x.shape[0]
+    # Full pairwise distance matrix (corpora here are small: ~10-100 users).
+    d = np.sqrt(pairwise_sq_distances(x, x))
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        own_mask = labels == own
+        own_count = own_mask.sum()
+        if own_count <= 1:
+            scores[i] = 0.0
+            continue
+        a = d[i, own_mask].sum() / (own_count - 1)
+        b = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            other_mask = labels == other
+            b = min(b, d[i, other_mask].mean())
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def davies_bouldin_index(x: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better)."""
+    x, labels, unique = _validate(x, labels)
+    k = unique.size
+    centroids = np.stack([x[labels == c].mean(axis=0) for c in unique])
+    scatters = np.array(
+        [
+            np.mean(np.linalg.norm(x[labels == c] - centroids[i], axis=1))
+            for i, c in enumerate(unique)
+        ]
+    )
+    center_d = np.sqrt(pairwise_sq_distances(centroids, centroids))
+    ratios = np.zeros(k)
+    for i in range(k):
+        worst = 0.0
+        for j in range(k):
+            if i == j or center_d[i, j] == 0:
+                continue
+            worst = max(worst, (scatters[i] + scatters[j]) / center_d[i, j])
+        ratios[i] = worst
+    return float(ratios.mean())
+
+
+def calinski_harabasz_index(x: np.ndarray, labels: np.ndarray) -> float:
+    """Calinski-Harabasz (variance-ratio) index (higher is better)."""
+    x, labels, unique = _validate(x, labels)
+    n, k = x.shape[0], unique.size
+    if n <= k:
+        raise ValueError("need more samples than clusters")
+    overall = x.mean(axis=0)
+    between = 0.0
+    within = 0.0
+    for c in unique:
+        members = x[labels == c]
+        centroid = members.mean(axis=0)
+        between += members.shape[0] * float(np.sum((centroid - overall) ** 2))
+        within += float(np.sum((members - centroid) ** 2))
+    if within == 0:
+        return np.inf
+    return float((between / (k - 1)) / (within / (n - k)))
+
+
+def inertia(x: np.ndarray, labels: np.ndarray) -> float:
+    """Within-cluster sum of squared distances to centroids."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    total = 0.0
+    for c in np.unique(labels):
+        members = x[labels == c]
+        centroid = members.mean(axis=0)
+        total += float(np.sum((members - centroid) ** 2))
+    return total
+
+
+def cluster_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sorted (descending) cluster member counts."""
+    _, counts = np.unique(np.asarray(labels), return_counts=True)
+    return np.sort(counts)[::-1]

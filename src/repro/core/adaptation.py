@@ -1,0 +1,168 @@
+"""Drift detection and adaptive re-assignment for deployed users.
+
+The paper motivates *adaptive* deep learning: user physiology is not
+stationary (stress phases, medication, seasons).  A deployed CLEAR
+system should notice when a user's signal distribution drifts away
+from their assigned cluster and react — re-assign, or re-personalize.
+This module provides that loop:
+
+* :class:`DriftDetector` — tracks the user's rolling feature signature
+  and scores its distance to the assigned cluster against the other
+  clusters.
+* :func:`monitor_and_adapt` — the policy: if another cluster has been
+  closer for ``patience`` consecutive checks, recommend re-assignment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..clustering.assignment import ColdStartAssigner
+from ..signals.feature_map import FeatureMap
+from .pipeline import CLEARSystem
+
+
+@dataclass
+class DriftObservation:
+    """One drift check."""
+
+    check_index: int
+    assigned_score: float
+    best_other_cluster: int
+    best_other_score: float
+
+    @property
+    def drifted(self) -> bool:
+        """True when some other cluster fits the user better."""
+        return self.best_other_score < self.assigned_score
+
+
+class DriftDetector:
+    """Rolling drift monitor for one deployed user.
+
+    Feed recent (unlabeled) feature maps via :meth:`update`; the
+    detector maintains a window of the user's newest maps, recomputes
+    the CA scores, and reports whether the assigned cluster is still
+    the best fit.
+
+    Parameters
+    ----------
+    assigner:
+        The deployment's cold-start assigner (same centroids as CA).
+    assigned_cluster:
+        The cluster the user currently uses.
+    window_maps:
+        How many recent maps form the rolling signature.
+    patience:
+        Consecutive drifted checks required before recommending a
+        re-assignment (suppresses transient excursions).
+    """
+
+    def __init__(
+        self,
+        assigner: ColdStartAssigner,
+        assigned_cluster: int,
+        window_maps: int = 5,
+        patience: int = 3,
+    ):
+        if window_maps < 1:
+            raise ValueError("window_maps must be >= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0 <= assigned_cluster < assigner.gc.k:
+            raise ValueError(f"assigned_cluster {assigned_cluster} out of range")
+        self.assigner = assigner
+        self.assigned_cluster = int(assigned_cluster)
+        self.window_maps = int(window_maps)
+        self.patience = int(patience)
+        self._recent: Deque[FeatureMap] = deque(maxlen=self.window_maps)
+        self._consecutive_drift = 0
+        self.observations: List[DriftObservation] = []
+
+    def update(self, new_maps: Sequence[FeatureMap]) -> Optional[DriftObservation]:
+        """Add maps and run one drift check (None until window fills)."""
+        for fmap in new_maps:
+            self._recent.append(fmap)
+        if len(self._recent) < self.window_maps:
+            return None
+        result = self.assigner.assign(list(self._recent))
+        assigned_score = result.scores[self.assigned_cluster]
+        others = {
+            c: s for c, s in result.scores.items() if c != self.assigned_cluster
+        }
+        best_other = min(others, key=others.get)
+        obs = DriftObservation(
+            check_index=len(self.observations),
+            assigned_score=float(assigned_score),
+            best_other_cluster=int(best_other),
+            best_other_score=float(others[best_other]),
+        )
+        self.observations.append(obs)
+        if obs.drifted:
+            self._consecutive_drift += 1
+        else:
+            self._consecutive_drift = 0
+        return obs
+
+    @property
+    def reassignment_recommended(self) -> bool:
+        return self._consecutive_drift >= self.patience
+
+    def recommended_cluster(self) -> Optional[int]:
+        """The drift target, if re-assignment is recommended."""
+        if not self.reassignment_recommended:
+            return None
+        return self.observations[-1].best_other_cluster
+
+    def reset(self, new_cluster: Optional[int] = None) -> None:
+        """Clear drift state (call after acting on a recommendation)."""
+        if new_cluster is not None:
+            if not 0 <= new_cluster < self.assigner.gc.k:
+                raise ValueError(f"new_cluster {new_cluster} out of range")
+            self.assigned_cluster = int(new_cluster)
+        self._consecutive_drift = 0
+
+
+@dataclass
+class AdaptationEvent:
+    """One adaptation performed by :func:`monitor_and_adapt`."""
+
+    at_batch: int
+    from_cluster: int
+    to_cluster: int
+
+
+def monitor_and_adapt(
+    system: CLEARSystem,
+    initial_cluster: int,
+    map_batches: Sequence[Sequence[FeatureMap]],
+    window_maps: int = 5,
+    patience: int = 3,
+) -> tuple:
+    """Run the adaptive loop over a stream of map batches.
+
+    Returns ``(final_cluster, events)`` where ``events`` lists every
+    re-assignment performed.  Each batch is one monitoring period (e.g.
+    a day of wear).
+    """
+    detector = DriftDetector(
+        system.assigner, initial_cluster, window_maps=window_maps, patience=patience
+    )
+    current = initial_cluster
+    events: List[AdaptationEvent] = []
+    for batch_idx, batch in enumerate(map_batches):
+        detector.update(list(batch))
+        if detector.reassignment_recommended:
+            target = detector.recommended_cluster()
+            events.append(
+                AdaptationEvent(
+                    at_batch=batch_idx, from_cluster=current, to_cluster=target
+                )
+            )
+            current = target
+            detector.reset(new_cluster=target)
+    return current, events

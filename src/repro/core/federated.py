@@ -1,0 +1,182 @@
+"""Federated per-cluster pre-training (privacy-preserving cloud stage).
+
+The paper emphasizes that CLEAR preserves privacy at the *edge* stage
+(new users never upload data).  The pre-deployment stage, however,
+still pools the initial volunteers' data on the cloud.  Inspired by the
+clustered federated learning of Huang et al. [8] (the paper's related
+work), this module closes that gap: each cluster's CNN-LSTM is trained
+by **federated averaging** across its member subjects — raw feature
+maps never leave a member's device; only weight updates and count-
+weighted normalization statistics are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..signals.feature_map import FeatureMap, FeatureNormalizer, maps_to_arrays
+from .architecture import build_cnn_lstm
+from .config import ModelConfig
+from .trainer import TrainedModel
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Federated-averaging hyper-parameters.
+
+    Attributes
+    ----------
+    rounds:
+        Global aggregation rounds.
+    local_epochs:
+        Epochs each client trains per round.
+    batch_size, learning_rate:
+        Client-side optimization settings.
+    client_fraction:
+        Fraction of clients sampled per round (1.0 = all).
+    """
+
+    rounds: int = 10
+    local_epochs: int = 2
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    client_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1 or self.local_epochs < 1:
+            raise ValueError("rounds and local_epochs must be >= 1")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+def aggregate_normalizer(
+    client_stats: Sequence[Tuple[int, np.ndarray, np.ndarray]],
+) -> FeatureNormalizer:
+    """Pool per-client (count, mean, var) into one normalizer.
+
+    Uses the exact pooled-moments identity, so the result equals a
+    normalizer fitted on the union of the clients' data — without any
+    client revealing its raw windows.
+    """
+    if not client_stats:
+        raise ValueError("need at least one client")
+    total = sum(count for count, _, _ in client_stats)
+    if total <= 0:
+        raise ValueError("clients contributed no data")
+    pooled_mean = (
+        sum(count * mean for count, mean, _ in client_stats) / total
+    )
+    pooled_var = (
+        sum(count * (var + mean**2) for count, mean, var in client_stats) / total
+        - pooled_mean**2
+    )
+    normalizer = FeatureNormalizer()
+    normalizer.mean_ = pooled_mean.reshape(-1, 1)
+    normalizer.std_ = np.sqrt(np.maximum(pooled_var, 0.0)).reshape(-1, 1)
+    return normalizer
+
+
+def client_statistics(maps: Sequence[FeatureMap]) -> Tuple[int, np.ndarray, np.ndarray]:
+    """The (count, mean, var) a client shares for normalizer pooling."""
+    stacked = np.concatenate([m.values for m in maps], axis=1)  # (F, sum W)
+    return stacked.shape[1], stacked.mean(axis=1), stacked.var(axis=1)
+
+
+def _fedavg(
+    updates: List[Tuple[int, List[Dict[str, np.ndarray]]]],
+) -> List[Dict[str, np.ndarray]]:
+    """Count-weighted average of client weight lists."""
+    total = sum(count for count, _ in updates)
+    averaged: List[Dict[str, np.ndarray]] = []
+    for layer_idx in range(len(updates[0][1])):
+        layer_avg: Dict[str, np.ndarray] = {}
+        for key in updates[0][1][layer_idx]:
+            layer_avg[key] = (
+                sum(count * weights[layer_idx][key] for count, weights in updates)
+                / total
+            )
+        averaged.append(layer_avg)
+    return averaged
+
+
+@dataclass
+class FederatedHistory:
+    """Per-round diagnostics of a federated run."""
+
+    round_losses: List[float]
+    clients_per_round: List[int]
+
+
+def federated_train_cluster(
+    maps_by_client: Dict[int, Sequence[FeatureMap]],
+    model_config: ModelConfig = None,
+    config: FederatedConfig = None,
+) -> Tuple[TrainedModel, FederatedHistory]:
+    """Train one cluster's model with FedAvg across its member subjects.
+
+    Parameters
+    ----------
+    maps_by_client:
+        Subject id -> that subject's labelled feature maps (each subject
+        is one federated client; data stays in this mapping, only
+        weights are aggregated).
+    """
+    if not maps_by_client:
+        raise ValueError("need at least one client")
+    model_config = model_config or ModelConfig()
+    config = config or FederatedConfig()
+    rng = np.random.default_rng(config.seed)
+
+    # Phase 1: privacy-preserving normalizer via pooled moments.
+    stats = [client_statistics(maps) for maps in maps_by_client.values()]
+    normalizer = aggregate_normalizer(stats)
+
+    # Pre-normalize every client's data locally.
+    client_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for client_id, maps in maps_by_client.items():
+        x, y = maps_to_arrays(normalizer.transform_all(list(maps)))
+        client_arrays[client_id] = (x, y)
+
+    input_shape = next(iter(client_arrays.values()))[0].shape[1:]
+    global_model = build_cnn_lstm(input_shape, model_config, seed=config.seed)
+    global_weights = global_model.get_weights()
+
+    client_ids = sorted(client_arrays)
+    n_sampled = max(1, int(round(config.client_fraction * len(client_ids))))
+    history = FederatedHistory(round_losses=[], clients_per_round=[])
+
+    for round_idx in range(config.rounds):
+        sampled = rng.choice(client_ids, size=n_sampled, replace=False)
+        updates: List[Tuple[int, List[Dict[str, np.ndarray]]]] = []
+        losses: List[float] = []
+        for client_id in sampled:
+            x, y = client_arrays[client_id]
+            local = build_cnn_lstm(
+                input_shape, model_config, seed=config.seed + round_idx
+            )
+            local.set_weights(global_weights)
+            local.compile(
+                nn.SoftmaxCrossEntropy(),
+                nn.Adam(lr=config.learning_rate, clipnorm=5.0),
+            )
+            local_history = local.fit(
+                x,
+                y,
+                epochs=config.local_epochs,
+                batch_size=min(config.batch_size, x.shape[0]),
+            )
+            losses.append(local_history.epochs[-1]["loss"])
+            updates.append((x.shape[0], local.get_weights()))
+        global_weights = _fedavg(updates)
+        history.round_losses.append(float(np.mean(losses)))
+        history.clients_per_round.append(len(sampled))
+
+    global_model.set_weights(global_weights)
+    return TrainedModel(model=global_model, normalizer=normalizer), history

@@ -1,0 +1,129 @@
+"""The end-to-end CLEAR pipeline (paper Fig. 1).
+
+Cloud stage: global clustering of the initial user population and one
+CNN-LSTM checkpoint per cluster.  Edge stage: unsupervised cold-start
+cluster assignment for new users, then optional fine-tuning with a
+small labelled fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..clustering.assignment import AssignmentResult, ColdStartAssigner
+from ..clustering.global_clustering import GlobalClustering, GlobalClusteringResult
+from ..clustering.subclusters import SubClusterModel, build_subclusters
+from ..signals.feature_map import FeatureMap
+from .config import CLEARConfig
+from .trainer import TrainedModel, fine_tune, train_on_maps
+
+
+@dataclass
+class CLEARSystem:
+    """A fitted CLEAR deployment: clusters, assigner, per-cluster models."""
+
+    config: CLEARConfig
+    gc: GlobalClusteringResult
+    subclusters: Dict[int, SubClusterModel]
+    assigner: ColdStartAssigner
+    cluster_models: Dict[int, TrainedModel]
+
+    # -- edge-stage operations -------------------------------------------
+    def assign_new_user(self, unlabeled_maps: Sequence[FeatureMap]) -> AssignmentResult:
+        """Cold-start cluster assignment from unlabeled data only."""
+        return self.assigner.assign(unlabeled_maps)
+
+    def model_for(self, cluster: int) -> TrainedModel:
+        if cluster not in self.cluster_models:
+            raise KeyError(f"no model for cluster {cluster}")
+        return self.cluster_models[cluster]
+
+    def predict(
+        self, maps: Sequence[FeatureMap], cluster: Optional[int] = None
+    ) -> np.ndarray:
+        """Classify maps with the given (or cold-start-assigned) cluster model."""
+        if cluster is None:
+            cluster = self.assign_new_user(maps).cluster
+        return self.model_for(cluster).predict_classes(maps)
+
+    def personalize(
+        self,
+        labeled_maps: Sequence[FeatureMap],
+        cluster: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> TrainedModel:
+        """Fine-tune the cluster checkpoint with a user's labelled maps."""
+        if cluster is None:
+            cluster = self.assign_new_user(labeled_maps).cluster
+        return fine_tune(
+            self.model_for(cluster),
+            labeled_maps,
+            self.config.fine_tuning,
+            seed=self.config.seed if seed is None else seed,
+        )
+
+    def cluster_sizes(self) -> List[int]:
+        return self.gc.cluster_sizes()
+
+
+class CLEAR:
+    """Trainer for the cloud stage of the CLEAR methodology."""
+
+    def __init__(self, config: Optional[CLEARConfig] = None):
+        self.config = config or CLEARConfig()
+
+    def fit(
+        self, maps_by_subject: Dict[int, Sequence[FeatureMap]]
+    ) -> CLEARSystem:
+        """Run GC + sub-clustering + per-cluster pre-training.
+
+        Parameters
+        ----------
+        maps_by_subject:
+            The initial (pre-deployment) population: subject id to that
+            subject's labelled feature maps.
+        """
+        cfg = self.config
+        gc = GlobalClustering(
+            k=cfg.num_clusters,
+            n_refinements=cfg.gc_refinements,
+            subsample_fraction=cfg.gc_subsample_fraction,
+            seed=cfg.seed,
+        ).fit(maps_by_subject)
+
+        subclusters = build_subclusters(
+            gc,
+            maps_by_subject,
+            subclusters_per_cluster=cfg.subclusters_per_cluster,
+            seed=cfg.seed,
+        )
+        assigner = ColdStartAssigner(gc, subclusters)
+
+        cluster_models: Dict[int, TrainedModel] = {}
+        for cluster in range(cfg.num_clusters):
+            member_ids = gc.members(cluster)
+            member_maps = [
+                m for sid in member_ids for m in maps_by_subject[sid]
+            ]
+            if len(member_maps) < 2:
+                raise RuntimeError(
+                    f"cluster {cluster} has too few maps ({len(member_maps)}) "
+                    "to train a model"
+                )
+            cluster_models[cluster] = train_on_maps(
+                member_maps,
+                model_config=cfg.model,
+                training=cfg.training,
+                seed=cfg.seed + cluster,
+            )
+
+        return CLEARSystem(
+            config=cfg,
+            gc=gc,
+            subclusters=subclusters,
+            assigner=assigner,
+            cluster_models=cluster_models,
+        )

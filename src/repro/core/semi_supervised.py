@@ -1,0 +1,136 @@
+"""Semi-supervised personalization: pseudo-label fine-tuning.
+
+The paper's future-work section targets "further optimizing ... model
+personalisation processes to reduce the need for labelled data".  This
+module implements the natural next step: after cold-start assignment,
+the cluster checkpoint *pseudo-labels* the new user's unlabeled maps;
+confident predictions become a synthetic training set (optionally mixed
+with any real labels available) and the checkpoint is fine-tuned on it.
+Zero or near-zero labelling effort from the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.activations import softmax
+from ..signals.feature_map import FeatureMap, maps_to_arrays
+from .config import FineTuneConfig
+from .trainer import TrainedModel, fine_tune
+
+
+@dataclass(frozen=True)
+class PseudoLabelConfig:
+    """Knobs for pseudo-label fine-tuning.
+
+    Attributes
+    ----------
+    confidence_threshold:
+        Minimum softmax probability for a prediction to become a
+        pseudo-label.  Below it, the map is discarded (training on
+        uncertain labels amplifies errors).  The compact CNN-LSTM is
+        trained with early stopping and produces conservative softmax
+        scores, so the default sits just above the binary chance level.
+    max_fraction_per_class:
+        Cap on how much of the pseudo-labelled set one class may
+        occupy, guarding against the collapse failure mode where the
+        checkpoint confidently predicts a single class.
+    fine_tuning:
+        The underlying fine-tuning schedule.
+    """
+
+    confidence_threshold: float = 0.6
+    max_fraction_per_class: float = 0.8
+    fine_tuning: FineTuneConfig = FineTuneConfig()
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.confidence_threshold < 1.0:
+            raise ValueError(
+                "confidence_threshold must be in [0.5, 1.0), got "
+                f"{self.confidence_threshold}"
+            )
+        if not 0.5 <= self.max_fraction_per_class <= 1.0:
+            raise ValueError(
+                "max_fraction_per_class must be in [0.5, 1.0], got "
+                f"{self.max_fraction_per_class}"
+            )
+
+
+@dataclass
+class PseudoLabelReport:
+    """What pseudo-labelling selected (for diagnostics)."""
+
+    num_candidates: int
+    num_selected: int
+    mean_confidence: float
+    class_counts: Tuple[int, ...]
+
+
+def pseudo_label_maps(
+    model: TrainedModel,
+    unlabeled_maps: Sequence[FeatureMap],
+    config: Optional[PseudoLabelConfig] = None,
+) -> Tuple[List[FeatureMap], PseudoLabelReport]:
+    """Select confidently-predicted maps and attach predicted labels."""
+    config = config or PseudoLabelConfig()
+    unlabeled_maps = list(unlabeled_maps)
+    if not unlabeled_maps:
+        raise ValueError("need at least one unlabeled map")
+
+    x, _ = maps_to_arrays(model.normalizer.transform_all(unlabeled_maps))
+    probs = softmax(model.model.predict(x), axis=1)
+    confidences = probs.max(axis=1)
+    predictions = probs.argmax(axis=1)
+
+    order = np.argsort(-confidences)
+    num_classes = probs.shape[1]
+    cap = max(1, int(np.ceil(config.max_fraction_per_class * len(unlabeled_maps))))
+    selected: List[FeatureMap] = []
+    class_counts = [0] * num_classes
+    kept_conf: List[float] = []
+    for idx in order:
+        if confidences[idx] < config.confidence_threshold:
+            break
+        label = int(predictions[idx])
+        if class_counts[label] >= cap:
+            continue
+        source = unlabeled_maps[int(idx)]
+        selected.append(
+            FeatureMap(source.values.copy(), label=label, subject_id=source.subject_id)
+        )
+        class_counts[label] += 1
+        kept_conf.append(float(confidences[idx]))
+
+    report = PseudoLabelReport(
+        num_candidates=len(unlabeled_maps),
+        num_selected=len(selected),
+        mean_confidence=float(np.mean(kept_conf)) if kept_conf else 0.0,
+        class_counts=tuple(class_counts),
+    )
+    return selected, report
+
+
+def pseudo_label_fine_tune(
+    model: TrainedModel,
+    unlabeled_maps: Sequence[FeatureMap],
+    labeled_maps: Sequence[FeatureMap] = (),
+    config: Optional[PseudoLabelConfig] = None,
+    seed: int = 0,
+) -> Tuple[TrainedModel, PseudoLabelReport]:
+    """Personalize with pseudo-labels (plus any real labels available).
+
+    Returns ``(tuned_model, report)``.  If nothing clears the confidence
+    threshold and no real labels were given, the original model is
+    returned unchanged — fine-tuning on nothing is a no-op, not an
+    error, so callers can always invoke this opportunistically.
+    """
+    config = config or PseudoLabelConfig()
+    pseudo, report = pseudo_label_maps(model, unlabeled_maps, config)
+    training_set = list(labeled_maps) + pseudo
+    if not training_set:
+        return model, report
+    tuned = fine_tune(model, training_set, config.fine_tuning, seed=seed)
+    return tuned, report

@@ -1,0 +1,148 @@
+"""Subject-aware hyper-parameter search for the cluster models.
+
+Tuning emotion-recognition models with random splits leaks subject
+identity into validation; the correct protocol is subject-held-out
+evaluation.  This module provides a grid search whose inner evaluation
+holds out whole subjects — the same discipline as the paper's LOSO.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..signals.feature_map import FeatureMap
+from .config import ModelConfig, TrainingConfig
+from .trainer import train_on_maps
+
+
+@dataclass
+class TrialResult:
+    """One evaluated hyper-parameter combination."""
+
+    params: Dict[str, object]
+    fold_accuracies: List[float]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.fold_accuracies))
+
+
+@dataclass
+class GridSearchResult:
+    """All trials plus the winner."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        return max(self.trials, key=lambda t: t.mean_accuracy)
+
+    def ranking(self) -> List[TrialResult]:
+        return sorted(self.trials, key=lambda t: -t.mean_accuracy)
+
+    def render(self) -> str:
+        lines = [f"{'rank':>5}  {'mean acc':>9}  params"]
+        for rank, trial in enumerate(self.ranking(), 1):
+            lines.append(
+                f"{rank:>5}  {trial.mean_accuracy * 100:>8.2f}%  {trial.params}"
+            )
+        return "\n".join(lines)
+
+
+def _expand_grid(grid: Dict[str, Sequence]) -> Iterable[Dict[str, object]]:
+    keys = sorted(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, combo))
+
+
+def _split_config(
+    params: Dict[str, object],
+    base_model: ModelConfig,
+    base_training: TrainingConfig,
+) -> Tuple[ModelConfig, TrainingConfig]:
+    """Route grid keys to whichever config owns the field."""
+    model_fields = {f.name for f in dataclasses.fields(ModelConfig)}
+    training_fields = {f.name for f in dataclasses.fields(TrainingConfig)}
+    model_over = {}
+    training_over = {}
+    for key, value in params.items():
+        if key in model_fields:
+            model_over[key] = value
+        elif key in training_fields:
+            training_over[key] = value
+        else:
+            raise ValueError(
+                f"unknown hyper-parameter {key!r} "
+                f"(not a ModelConfig or TrainingConfig field)"
+            )
+    return (
+        dataclasses.replace(base_model, **model_over),
+        dataclasses.replace(base_training, **training_over),
+    )
+
+
+def subject_holdout_folds(
+    maps_by_subject: Dict[int, Sequence[FeatureMap]], n_folds: int
+) -> List[Tuple[List[FeatureMap], List[FeatureMap]]]:
+    """Round-robin subject-held-out folds: each fold holds out one
+    subject (cycling if n_folds exceeds the subject count)."""
+    subject_ids = sorted(maps_by_subject)
+    if len(subject_ids) < 2:
+        raise ValueError("need at least 2 subjects for subject hold-out")
+    folds = []
+    for i in range(n_folds):
+        held = subject_ids[i % len(subject_ids)]
+        train = [
+            m for sid in subject_ids if sid != held for m in maps_by_subject[sid]
+        ]
+        test = list(maps_by_subject[held])
+        folds.append((train, test))
+    return folds
+
+
+def grid_search(
+    maps_by_subject: Dict[int, Sequence[FeatureMap]],
+    grid: Dict[str, Sequence],
+    base_model: ModelConfig = None,
+    base_training: TrainingConfig = None,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Exhaustive grid search with subject-held-out evaluation.
+
+    Parameters
+    ----------
+    maps_by_subject:
+        The tuning population (e.g. one cluster's members).
+    grid:
+        Field name -> candidate values; fields may belong to either
+        :class:`ModelConfig` or :class:`TrainingConfig`.
+    n_folds:
+        Subject-held-out folds per combination.
+    """
+    if not grid:
+        raise ValueError("grid is empty")
+    base_model = base_model or ModelConfig()
+    base_training = base_training or TrainingConfig()
+    folds = subject_holdout_folds(maps_by_subject, n_folds)
+
+    result = GridSearchResult()
+    for params in _expand_grid(grid):
+        model_cfg, training_cfg = _split_config(params, base_model, base_training)
+        accuracies = []
+        for train_maps, test_maps in folds:
+            trained = train_on_maps(train_maps, model_cfg, training_cfg, seed=seed)
+            accuracies.append(trained.evaluate(test_maps)["accuracy"])
+        result.trials.append(TrialResult(params=params, fold_accuracies=accuracies))
+    return result

@@ -1,0 +1,253 @@
+"""Validation harness reproducing the paper's Table I protocols.
+
+Protocols (paper §IV-B):
+
+* **General model** — x random volunteers (x = average cluster size),
+  one population model, intra-group LOSO.  No clustering.
+* **CL validation** — GC on all N users, per-cluster intra-cluster
+  LOSO.  **RT CL** tests each cluster's model on volunteers from the
+  *other* clusters (robustness test).
+* **CLEAR validation** — full-pipeline LOSO: volunteer V_x is held out
+  of clustering and pre-training; CA assigns V_x from 10 % unlabeled
+  data; the assigned cluster's checkpoint is evaluated on V_x's
+  remaining data (**CLEAR w/o FT**), other clusters' checkpoints give
+  **RT CLEAR**, and fine-tuning with 20 % labels gives **CLEAR w FT**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.loaders import split_maps_by_fraction
+from ..datasets.wemac import WEMACDataset
+from ..signals.feature_map import FeatureMap
+from .config import CLEARConfig
+from .pipeline import CLEAR, CLEARSystem
+from .results import FoldMetrics, MetricSummary
+from .trainer import TrainedModel, fine_tune, train_on_maps
+
+
+def _maps_by_subject(
+    dataset: WEMACDataset, exclude: Optional[int] = None
+) -> Dict[int, List[FeatureMap]]:
+    return {
+        s.subject_id: list(s.maps)
+        for s in dataset.subjects
+        if s.subject_id != exclude
+    }
+
+
+def evaluate_general_model(
+    dataset: WEMACDataset,
+    config: Optional[CLEARConfig] = None,
+    group_size: Optional[int] = None,
+    max_folds: Optional[int] = None,
+) -> MetricSummary:
+    """The no-clustering baseline: one model for a random group.
+
+    ``group_size`` defaults to the average cluster size N / K, which is
+    how the paper chose x = 11 for fair comparison.
+    """
+    config = config or CLEARConfig()
+    rng = np.random.default_rng(config.seed)
+    if group_size is None:
+        group_size = max(2, dataset.num_subjects // config.num_clusters)
+    if group_size > dataset.num_subjects:
+        raise ValueError(
+            f"group_size {group_size} exceeds population {dataset.num_subjects}"
+        )
+    idx = rng.choice(dataset.num_subjects, size=group_size, replace=False)
+    group = [dataset.subjects[i] for i in idx]
+
+    summary = MetricSummary("General Model")
+    folds = group if max_folds is None else group[:max_folds]
+    for held_out in folds:
+        train_maps = [
+            m for s in group if s.subject_id != held_out.subject_id for m in s.maps
+        ]
+        model = train_on_maps(
+            train_maps, config.model, config.training, seed=config.seed
+        )
+        metrics = model.evaluate(held_out.maps)
+        summary.add(
+            FoldMetrics(
+                metrics["accuracy"], metrics["f1"], fold_id=held_out.subject_id
+            )
+        )
+    return summary
+
+
+@dataclass
+class CLValidationResult:
+    """Outcome of CL validation: in-cluster LOSO plus the robustness test."""
+
+    cl: MetricSummary
+    rt_cl: MetricSummary
+    cluster_sizes: List[int] = field(default_factory=list)
+
+
+def cl_validation(
+    dataset: WEMACDataset,
+    config: Optional[CLEARConfig] = None,
+    max_folds: Optional[int] = None,
+) -> CLValidationResult:
+    """Cluster the full population, then intra-cluster LOSO per cluster.
+
+    For the robustness test (RT CL), each fold's model is also
+    evaluated on all volunteers *outside* its cluster — showing that
+    cluster models do not transfer across clusters, i.e. GC found real
+    structure.
+    """
+    config = config or CLEARConfig()
+    maps_by = _maps_by_subject(dataset)
+
+    from ..clustering.global_clustering import GlobalClustering
+
+    gc = GlobalClustering(
+        k=config.num_clusters,
+        n_refinements=config.gc_refinements,
+        subsample_fraction=config.gc_subsample_fraction,
+        seed=config.seed,
+    ).fit(maps_by)
+
+    cl_summary = MetricSummary("CL validation")
+    rt_summary = MetricSummary("RT CL")
+    folds_done = 0
+    for cluster in range(config.num_clusters):
+        member_ids = gc.members(cluster)
+        outside_maps = [
+            m
+            for sid, maps in maps_by.items()
+            if sid not in member_ids
+            for m in maps
+        ]
+        for held_out in member_ids:
+            if max_folds is not None and folds_done >= max_folds:
+                break
+            train_maps = [
+                m for sid in member_ids if sid != held_out for m in maps_by[sid]
+            ]
+            if len(train_maps) < 2:
+                continue  # singleton cluster: no intra-cluster LOSO possible
+            model = train_on_maps(
+                train_maps, config.model, config.training, seed=config.seed
+            )
+            metrics = model.evaluate(maps_by[held_out])
+            cl_summary.add(
+                FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=held_out)
+            )
+            if outside_maps:
+                rt = model.evaluate(outside_maps)
+                rt_summary.add(
+                    FoldMetrics(rt["accuracy"], rt["f1"], fold_id=held_out)
+                )
+            folds_done += 1
+    return CLValidationResult(
+        cl=cl_summary, rt_cl=rt_summary, cluster_sizes=gc.cluster_sizes()
+    )
+
+
+@dataclass
+class CLEARValidationResult:
+    """Outcome of the full-pipeline CLEAR validation."""
+
+    without_ft: MetricSummary
+    rt_clear: MetricSummary
+    with_ft: Optional[MetricSummary]
+    assignments: Dict[int, int] = field(default_factory=dict)
+    assignment_matches_gc: Dict[int, bool] = field(default_factory=dict)
+
+
+def clear_validation(
+    dataset: WEMACDataset,
+    config: Optional[CLEARConfig] = None,
+    with_fine_tuning: bool = True,
+    max_folds: Optional[int] = None,
+) -> CLEARValidationResult:
+    """Full CLEAR LOSO: cold-start assignment + optional fine-tuning.
+
+    Per fold (one per volunteer V_x):
+
+    1. Fit the CLEAR cloud stage on the other N-1 volunteers.
+    2. CA assigns V_x from ``ca_data_fraction`` (10 %) of their maps,
+       *unlabeled*.
+    3. The assigned checkpoint is evaluated on the held-back maps
+       (CLEAR w/o FT); every other cluster's checkpoint on the same
+       maps gives RT CLEAR.
+    4. ``ft_label_fraction`` (20 %) of maps fine-tune the checkpoint;
+       evaluation on the remainder gives CLEAR w FT.
+    """
+    config = config or CLEARConfig()
+    rng = np.random.default_rng(config.seed)
+
+    wo_ft = MetricSummary("CLEAR w/o FT")
+    rt = MetricSummary("RT CLEAR")
+    w_ft = MetricSummary("CLEAR w FT") if with_fine_tuning else None
+    assignments: Dict[int, int] = {}
+    matches: Dict[int, bool] = {}
+
+    subjects = dataset.subjects if max_folds is None else dataset.subjects[:max_folds]
+    for record in subjects:
+        v_x = record.subject_id
+        maps_by = _maps_by_subject(dataset, exclude=v_x)
+        system = CLEAR(config).fit(maps_by)
+
+        # Step 2: unsupervised cold-start assignment from 10 % of data.
+        ca_maps, held_back = split_maps_by_fraction(
+            record.maps, config.ca_data_fraction, rng, stratified=False
+        )
+        assignment = system.assign_new_user(ca_maps)
+        cluster = assignment.cluster
+        assignments[v_x] = cluster
+        # Diagnostic: does CA match where GC would place this user with
+        # full data?  (Not used by the pipeline; reported for analysis.)
+        from ..signals.feature_map import subject_signature
+
+        matches[v_x] = cluster == system.gc.assign_signature(
+            subject_signature(record.maps)
+        )
+
+        # Step 3: evaluate without fine-tuning + robustness test.
+        metrics = system.model_for(cluster).evaluate(held_back)
+        wo_ft.add(FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=v_x))
+        other_metrics = []
+        for other in range(config.num_clusters):
+            if other == cluster:
+                continue
+            other_metrics.append(system.model_for(other).evaluate(held_back))
+        if other_metrics:
+            rt.add(
+                FoldMetrics(
+                    float(np.mean([m["accuracy"] for m in other_metrics])),
+                    float(np.mean([m["f1"] for m in other_metrics])),
+                    fold_id=v_x,
+                )
+            )
+
+        # Step 4: fine-tune with 20 % labels, test on the rest.
+        if with_fine_tuning:
+            ft_fraction = config.ft_label_fraction / (1.0 - config.ca_data_fraction)
+            ft_maps, test_maps = split_maps_by_fraction(
+                held_back, ft_fraction, rng, stratified=True
+            )
+            tuned = fine_tune(
+                system.model_for(cluster),
+                ft_maps,
+                config.fine_tuning,
+                seed=config.seed,
+            )
+            ft_metrics = tuned.evaluate(test_maps)
+            w_ft.add(
+                FoldMetrics(ft_metrics["accuracy"], ft_metrics["f1"], fold_id=v_x)
+            )
+
+    return CLEARValidationResult(
+        without_ft=wo_ft,
+        rt_clear=rt,
+        with_ft=w_ft,
+        assignments=assignments,
+        assignment_matches_gc=matches,
+    )

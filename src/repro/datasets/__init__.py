@@ -1,0 +1,69 @@
+"""Synthetic WEMAC-compatible corpus: virtual volunteers, stimuli, splits.
+
+The real WEMAC dataset is request-gated; this package generates a
+corpus with the same statistical structure (latent archetypes, fear /
+non-fear labels, multi-rate physiological channels) so the full CLEAR
+pipeline runs end-to-end offline.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from .emotions import (
+    EMOTION_INDEX,
+    EMOTION_NAMES,
+    EMOTIONS,
+    EmotionSimulator,
+    EmotionSpec,
+    EmotionTrial,
+    binary_schedule_from_emotions,
+    emotion_schedule,
+    get_emotion,
+    to_binary_fear,
+)
+from .loaders import (
+    LOSOFold,
+    loso_folds,
+    random_subject_subset,
+    split_maps_by_fraction,
+)
+from .stimuli import FEAR, NON_FEAR, StimulusSchedule, Trial, balanced_schedule
+from .subject import (
+    ARCHETYPES,
+    NUM_ARCHETYPES,
+    ArchetypeParams,
+    PhysiologicalSimulator,
+    SubjectProfile,
+    sample_subject,
+)
+from .wemac import SubjectRecord, SyntheticWEMAC, WEMACConfig, WEMACDataset
+
+__all__ = [
+    "EMOTIONS",
+    "EMOTION_NAMES",
+    "EMOTION_INDEX",
+    "EmotionSpec",
+    "EmotionTrial",
+    "EmotionSimulator",
+    "emotion_schedule",
+    "binary_schedule_from_emotions",
+    "get_emotion",
+    "to_binary_fear",
+    "FEAR",
+    "NON_FEAR",
+    "Trial",
+    "StimulusSchedule",
+    "balanced_schedule",
+    "ARCHETYPES",
+    "NUM_ARCHETYPES",
+    "ArchetypeParams",
+    "SubjectProfile",
+    "sample_subject",
+    "PhysiologicalSimulator",
+    "WEMACConfig",
+    "WEMACDataset",
+    "SubjectRecord",
+    "SyntheticWEMAC",
+    "LOSOFold",
+    "loso_folds",
+    "split_maps_by_fraction",
+    "random_subject_subset",
+]

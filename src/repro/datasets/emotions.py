@@ -1,0 +1,198 @@
+"""Multi-emotion support: the valence-arousal circumplex.
+
+WEMAC annotates ten emotional labels; the paper collapses them to the
+binary fear / non-fear task.  This module models the full label set on
+the circumplex (Russell, 1980): each emotion is a (valence, arousal)
+point, and the simulator derives physiological response intensity from
+arousal with valence modulating response *direction* where physiology
+warrants it (e.g. pleasant high-arousal states vasodilate rather than
+constrict).  The binary mapping used by the paper's task is provided
+by :func:`to_binary_fear`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .stimuli import FEAR, NON_FEAR, StimulusSchedule, Trial
+from .subject import PhysiologicalSimulator, SubjectProfile
+
+
+@dataclass(frozen=True)
+class EmotionSpec:
+    """One emotion on the valence-arousal circumplex.
+
+    Valence and arousal are in [-1, 1]; arousal drives the magnitude of
+    the physiological response (0 = resting state).
+    """
+
+    name: str
+    valence: float
+    arousal: float
+
+    def __post_init__(self) -> None:
+        for field_name, value in (("valence", self.valence), ("arousal", self.arousal)):
+            if not -1.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [-1, 1], got {value}")
+
+
+#: The ten-emotion label set (WEMAC-like), placed on the circumplex.
+EMOTIONS: Tuple[EmotionSpec, ...] = (
+    EmotionSpec("fear", valence=-0.8, arousal=0.9),
+    EmotionSpec("anger", valence=-0.7, arousal=0.8),
+    EmotionSpec("disgust", valence=-0.7, arousal=0.5),
+    EmotionSpec("sadness", valence=-0.8, arousal=0.2),
+    EmotionSpec("anguish", valence=-0.6, arousal=0.6),
+    EmotionSpec("joy", valence=0.8, arousal=0.7),
+    EmotionSpec("amusement", valence=0.7, arousal=0.5),
+    EmotionSpec("hope", valence=0.6, arousal=0.4),
+    EmotionSpec("tenderness", valence=0.7, arousal=0.2),
+    EmotionSpec("calm", valence=0.5, arousal=0.05),
+)
+
+EMOTION_NAMES: Tuple[str, ...] = tuple(e.name for e in EMOTIONS)
+
+EMOTION_INDEX: Dict[str, int] = {e.name: i for i, e in enumerate(EMOTIONS)}
+
+
+def get_emotion(name: str) -> EmotionSpec:
+    """Look up an emotion spec by name."""
+    try:
+        return EMOTIONS[EMOTION_INDEX[name]]
+    except KeyError:
+        raise ValueError(
+            f"unknown emotion {name!r}; options: {', '.join(EMOTION_NAMES)}"
+        ) from None
+
+
+def to_binary_fear(name: str) -> int:
+    """The paper's task mapping: fear -> 1, all other emotions -> 0."""
+    get_emotion(name)  # validates
+    return FEAR if name == "fear" else NON_FEAR
+
+
+def response_intensity(
+    emotion: EmotionSpec, rng: np.random.Generator, spread: float = 0.2
+) -> float:
+    """Physiological response intensity elicited by an emotion.
+
+    Arousal sets the mean; trial-to-trial variation matches how
+    strongly a given video actually lands.  Clamped to [0, 1.3].
+    """
+    base = max(0.0, emotion.arousal)
+    return float(np.clip(rng.normal(base, spread * max(base, 0.2)), 0.0, 1.3))
+
+
+def valence_sign(emotion: EmotionSpec) -> float:
+    """-1 for negative-valence states, +1 for positive, 0 near neutral."""
+    if emotion.valence > 0.2:
+        return 1.0
+    if emotion.valence < -0.2:
+        return -1.0
+    return 0.0
+
+
+@dataclass(frozen=True)
+class EmotionTrial:
+    """One trial with a full emotion annotation."""
+
+    emotion: str
+    duration_seconds: float
+
+    def __post_init__(self) -> None:
+        get_emotion(self.emotion)
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def binary_label(self) -> int:
+        return to_binary_fear(self.emotion)
+
+    @property
+    def emotion_id(self) -> int:
+        return EMOTION_INDEX[self.emotion]
+
+
+def emotion_schedule(
+    num_trials: int,
+    trial_seconds: float,
+    rng: np.random.Generator,
+    fear_fraction: float = 0.3,
+) -> List[EmotionTrial]:
+    """A WEMAC-like schedule: some fear videos among diverse others.
+
+    ``fear_fraction`` of trials elicit fear; the rest cycle through the
+    remaining nine emotions (WEMAC's neutral-heavy design means fear is
+    the minority class in the full corpus).
+    """
+    if num_trials < 2:
+        raise ValueError("need at least 2 trials")
+    if not 0.0 < fear_fraction < 1.0:
+        raise ValueError("fear_fraction must be in (0, 1)")
+    n_fear = max(1, int(round(fear_fraction * num_trials)))
+    others = [name for name in EMOTION_NAMES if name != "fear"]
+    trials = [EmotionTrial("fear", trial_seconds) for _ in range(n_fear)]
+    for i in range(num_trials - n_fear):
+        trials.append(EmotionTrial(others[i % len(others)], trial_seconds))
+    order = rng.permutation(len(trials))
+    return [trials[i] for i in order]
+
+
+class EmotionSimulator:
+    """Physiological simulation driven by circumplex coordinates.
+
+    Wraps :class:`PhysiologicalSimulator`: response intensity comes
+    from the emotion's arousal, and for *positive*-valence states the
+    skin-temperature response flips sign (pleasant arousal vasodilates)
+    while the heart-rate delta is attenuated — the standard valence
+    asymmetries reported in the affective-physiology literature.
+    """
+
+    def __init__(self, simulator: PhysiologicalSimulator = None):
+        self.simulator = simulator or PhysiologicalSimulator()
+
+    def simulate_trial(
+        self,
+        profile: SubjectProfile,
+        trial: EmotionTrial,
+        rng: np.random.Generator,
+    ) -> Dict[str, np.ndarray]:
+        emotion = get_emotion(trial.emotion)
+        intensity = response_intensity(emotion, rng)
+        sign = valence_sign(emotion)
+
+        params = profile.params
+        if sign > 0:
+            # Positive valence: milder cardiac response, inverted SKT.
+            from dataclasses import replace
+
+            params = replace(
+                params,
+                fear_hr_delta=0.5 * params.fear_hr_delta,
+                fear_skt_slope=-0.5 * params.fear_skt_slope,
+                fear_scl_drift=0.6 * params.fear_scl_drift,
+            )
+        sim = self.simulator
+        return {
+            "bvp": sim._bvp_trial(params, intensity, trial.duration_seconds, rng),
+            "gsr": sim._gsr_trial(params, intensity, trial.duration_seconds, rng),
+            "skt": sim._skt_trial(params, intensity, trial.duration_seconds, rng),
+        }
+
+    def simulate_schedule(
+        self,
+        profile: SubjectProfile,
+        trials: List[EmotionTrial],
+        rng: np.random.Generator,
+    ) -> List[Dict[str, np.ndarray]]:
+        return [self.simulate_trial(profile, t, rng) for t in trials]
+
+
+def binary_schedule_from_emotions(trials: List[EmotionTrial]) -> StimulusSchedule:
+    """Collapse an emotion schedule into the paper's binary fear task."""
+    return StimulusSchedule(
+        tuple(Trial(t.binary_label, t.duration_seconds) for t in trials)
+    )

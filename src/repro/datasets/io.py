@@ -1,0 +1,100 @@
+"""Corpus persistence: save/load generated datasets as .npz bundles.
+
+Feature extraction dominates corpus generation time, so workflows that
+reuse a corpus (the CLI, repeated experiments) save it once and reload.
+Raw signal traces are not persisted — feature maps, labels, subject
+metadata, and the generating config are sufficient for every
+experiment in the repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..signals.feature_map import FeatureMap
+from .stimuli import StimulusSchedule, Trial
+from .subject import ARCHETYPES, SubjectProfile
+from .wemac import SubjectRecord, WEMACConfig, WEMACDataset
+
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: WEMACDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to a single .npz file."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "config": dataclasses.asdict(dataset.config),
+        "subjects": [],
+    }
+    arrays = {}
+    for record in dataset.subjects:
+        sid = record.subject_id
+        meta["subjects"].append(
+            {
+                "subject_id": sid,
+                "archetype_id": record.profile.archetype_id,
+                "params": dataclasses.asdict(record.profile.params),
+                "labels": [int(l) for l in record.labels],
+                "durations": [t.duration_seconds for t in record.schedule.trials],
+            }
+        )
+        for i, fmap in enumerate(record.maps):
+            arrays[f"maps/{sid}/{i}"] = fmap.values
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> WEMACDataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format: {meta.get('format_version')}"
+            )
+        cfg_data = dict(meta["config"])
+        cfg_data["archetype_weights"] = tuple(cfg_data["archetype_weights"])
+        config = WEMACConfig(**cfg_data)
+
+        subjects = []
+        from .subject import ArchetypeParams
+
+        for entry in meta["subjects"]:
+            sid = int(entry["subject_id"])
+            profile = SubjectProfile(
+                subject_id=sid,
+                archetype_id=int(entry["archetype_id"]),
+                params=ArchetypeParams(**entry["params"]),
+            )
+            labels = entry["labels"]
+            durations = entry["durations"]
+            schedule = StimulusSchedule(
+                tuple(
+                    Trial(int(label), float(duration))
+                    for label, duration in zip(labels, durations)
+                )
+            )
+            maps = [
+                FeatureMap(
+                    np.asarray(data[f"maps/{sid}/{i}"], dtype=np.float64),
+                    label=int(labels[i]),
+                    subject_id=sid,
+                )
+                for i in range(len(labels))
+            ]
+            subjects.append(SubjectRecord(profile, schedule, maps))
+    return WEMACDataset(config=config, subjects=subjects)

@@ -1,0 +1,126 @@
+"""Battery-life planning for wearable deployments.
+
+The paper's future work targets "low power devices to further enhance
+real-world usability".  This module turns the device cost models into
+deployment-level answers: given a duty cycle (how often the detector
+runs, how often fine-tuning happens), how long does a battery last, and
+what is the energy budget split?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .devices import DeviceProfile
+from .profiler import ModelProfile
+
+
+@dataclass(frozen=True)
+class DutyCycle:
+    """How the deployment exercises the device over a day.
+
+    Attributes
+    ----------
+    inferences_per_hour:
+        Detection frequency (e.g. one per 20 s window = 180/hour).
+    finetune_sessions_per_day:
+        Full on-device fine-tuning runs per day (usually << 1; stored
+        as a float so "weekly" = 1/7 works).
+    finetune_examples, finetune_epochs:
+        Size of each fine-tuning session.
+    """
+
+    inferences_per_hour: float = 180.0
+    finetune_sessions_per_day: float = 1.0
+    finetune_examples: int = 4
+    finetune_epochs: int = 15
+
+    def __post_init__(self) -> None:
+        if self.inferences_per_hour < 0 or self.finetune_sessions_per_day < 0:
+            raise ValueError("duty-cycle rates must be >= 0")
+        if self.finetune_examples < 1 or self.finetune_epochs < 1:
+            raise ValueError("fine-tuning session size must be >= 1")
+
+
+@dataclass
+class EnergyBudget:
+    """Daily energy accounting for one device + duty cycle."""
+
+    device: str
+    idle_wh: float
+    inference_wh: float
+    finetune_wh: float
+
+    @property
+    def total_wh(self) -> float:
+        return self.idle_wh + self.inference_wh + self.finetune_wh
+
+    def breakdown(self) -> Dict[str, float]:
+        total = self.total_wh
+        if total <= 0:
+            return {"idle": 0.0, "inference": 0.0, "finetune": 0.0}
+        return {
+            "idle": self.idle_wh / total,
+            "inference": self.inference_wh / total,
+            "finetune": self.finetune_wh / total,
+        }
+
+
+def daily_energy(
+    device: DeviceProfile, profile: ModelProfile, duty: DutyCycle
+) -> EnergyBudget:
+    """Energy consumed per day under a duty cycle (Wh)."""
+    seconds_per_day = 86_400.0
+
+    inference_time = device.inference_time_s(profile, batch=1)
+    inferences = duty.inferences_per_hour * 24.0
+    inference_s = inferences * inference_time
+
+    finetune_time = device.training_time_s(
+        profile, duty.finetune_examples, duty.finetune_epochs
+    )
+    finetune_s = duty.finetune_sessions_per_day * finetune_time
+
+    active_s = min(seconds_per_day, inference_s + finetune_s)
+    idle_s = seconds_per_day - active_s
+
+    to_wh = 1.0 / 3600.0
+    return EnergyBudget(
+        device=device.name,
+        idle_wh=device.power_idle_w * idle_s * to_wh,
+        inference_wh=device.power_test_w * inference_s * to_wh,
+        finetune_wh=device.power_retrain_w * finetune_s * to_wh,
+    )
+
+
+def battery_life_hours(
+    device: DeviceProfile,
+    profile: ModelProfile,
+    duty: DutyCycle,
+    battery_wh: float,
+) -> float:
+    """Hours of operation a battery sustains under the duty cycle."""
+    if battery_wh <= 0:
+        raise ValueError("battery_wh must be positive")
+    budget = daily_energy(device, profile, duty)
+    per_hour = budget.total_wh / 24.0
+    return battery_wh / per_hour
+
+
+def compare_devices(
+    devices: Dict[str, DeviceProfile],
+    profile: ModelProfile,
+    duty: DutyCycle,
+    battery_wh: float = 10.0,
+) -> Dict[str, Dict[str, float]]:
+    """Battery life and energy split for every device."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, device in devices.items():
+        budget = daily_energy(device, profile, duty)
+        out[key] = {
+            "daily_wh": budget.total_wh,
+            "battery_hours": battery_life_hours(device, profile, duty, battery_wh),
+            **{f"frac_{k}": v for k, v in budget.breakdown().items()},
+        }
+    return out

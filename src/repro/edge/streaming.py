@@ -1,0 +1,237 @@
+"""Streaming (real-time) inference at the edge.
+
+The paper motivates CLEAR with *real-time detection* on wearables: raw
+BVP/GSR/SKT samples arrive continuously, and the device must window
+them, extract features, maintain a rolling feature map, and classify —
+all incrementally.  This module provides that runtime:
+
+* :class:`RingBuffer` — fixed-capacity sample buffer per channel.
+* :class:`StreamingFeatureExtractor` — turns sample streams into
+  feature vectors every hop.
+* :class:`OnlineDetector` — maintains the rolling F x W feature map,
+  classifies on every new window, and smooths decisions over time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.trainer import TrainedModel
+from ..signals.feature_map import FeatureMap
+from ..signals.features import FeatureExtractor, SensorRates
+
+
+class RingBuffer:
+    """Fixed-capacity float buffer holding the newest samples.
+
+    Appends beyond capacity discard the oldest samples.  ``latest(n)``
+    returns the most recent ``n`` samples in chronological order.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data = np.zeros(self.capacity, dtype=np.float64)
+        self._write = 0  # next write position
+        self._count = 0  # valid samples (<= capacity)
+        self.total_seen = 0  # samples ever pushed
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count == self.capacity
+
+    def append(self, samples: Sequence[float]) -> None:
+        """Append samples (oldest first); O(len(samples))."""
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        self.total_seen += samples.size
+        if samples.size >= self.capacity:
+            # Only the newest `capacity` samples survive anyway.
+            self._data[:] = samples[-self.capacity :]
+            self._write = 0
+            self._count = self.capacity
+            return
+        first = min(samples.size, self.capacity - self._write)
+        self._data[self._write : self._write + first] = samples[:first]
+        rest = samples.size - first
+        if rest:
+            self._data[:rest] = samples[first:]
+        self._write = (self._write + samples.size) % self.capacity
+        self._count = min(self.capacity, self._count + samples.size)
+
+    def latest(self, n: Optional[int] = None) -> np.ndarray:
+        """The newest ``n`` samples (default: all) in time order."""
+        if n is None:
+            n = self._count
+        if n < 0 or n > self._count:
+            raise ValueError(f"cannot read {n} samples, have {self._count}")
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        end = self._write
+        start = (end - n) % self.capacity
+        if start < end:
+            return self._data[start:end].copy()
+        # Wrapped read (also covers the full-buffer case start == end).
+        return np.concatenate([self._data[start:], self._data[:end]])
+
+
+@dataclass
+class WindowEvent:
+    """One emitted feature vector with its stream position."""
+
+    index: int  # running window counter
+    features: np.ndarray  # (F,)
+
+
+class StreamingFeatureExtractor:
+    """Incremental windowed feature extraction over three channels.
+
+    Samples are pushed with :meth:`push`; whenever every channel has
+    accumulated a full analysis window *and* a hop has elapsed since
+    the previous emission, the 123-feature vector of the newest window
+    is emitted.
+    """
+
+    def __init__(
+        self,
+        rates: Optional[SensorRates] = None,
+        window_seconds: float = 10.0,
+        hop_seconds: Optional[float] = None,
+    ):
+        self.extractor = FeatureExtractor(
+            rates=rates or SensorRates(), window_seconds=window_seconds
+        )
+        self.window_seconds = float(window_seconds)
+        self.hop_seconds = float(
+            hop_seconds if hop_seconds is not None else window_seconds
+        )
+        if self.hop_seconds <= 0:
+            raise ValueError("hop_seconds must be positive")
+        r = self.extractor.rates
+        self._buffers: Dict[str, RingBuffer] = {
+            "bvp": RingBuffer(int(self.window_seconds * r.bvp)),
+            "gsr": RingBuffer(int(self.window_seconds * r.gsr)),
+            "skt": RingBuffer(int(self.window_seconds * r.skt)),
+        }
+        self._rates = {"bvp": r.bvp, "gsr": r.gsr, "skt": r.skt}
+        self._emitted = 0
+        self._next_emit_time = self.window_seconds
+
+    @property
+    def stream_time(self) -> float:
+        """Seconds of signal consumed so far (per the BVP channel)."""
+        return self._buffers["bvp"].total_seen / self._rates["bvp"]
+
+    def push(
+        self,
+        bvp: Sequence[float] = (),
+        gsr: Sequence[float] = (),
+        skt: Sequence[float] = (),
+    ) -> List[WindowEvent]:
+        """Feed new samples; returns feature vectors that became ready."""
+        self._buffers["bvp"].append(bvp)
+        self._buffers["gsr"].append(gsr)
+        self._buffers["skt"].append(skt)
+
+        events: List[WindowEvent] = []
+        while self._ready():
+            vector = self.extractor.extract_window(
+                self._buffers["bvp"].latest(),
+                self._buffers["gsr"].latest(),
+                self._buffers["skt"].latest(),
+            )
+            events.append(WindowEvent(index=self._emitted, features=vector))
+            self._emitted += 1
+            self._next_emit_time += self.hop_seconds
+        return events
+
+    def _ready(self) -> bool:
+        if not all(buf.full for buf in self._buffers.values()):
+            return False
+        # Every channel must have advanced past the next emission time.
+        times = [
+            buf.total_seen / self._rates[name]
+            for name, buf in self._buffers.items()
+        ]
+        return min(times) >= self._next_emit_time - 1e-9
+
+
+@dataclass
+class Detection:
+    """One smoothed classification decision."""
+
+    window_index: int
+    raw_prediction: int
+    smoothed_prediction: int
+    stream_time: float
+
+
+class OnlineDetector:
+    """Rolling feature-map classification with temporal smoothing.
+
+    Maintains the last W window vectors as the model's F x W input and
+    classifies after every new window once the map is full.  The final
+    decision is a majority vote over the last ``smoothing`` raw
+    predictions, suppressing single-window flickers — the standard
+    trick for stable real-time emotion detection.
+    """
+
+    def __init__(
+        self,
+        model: TrainedModel,
+        windows_per_map: int,
+        streaming: StreamingFeatureExtractor,
+        smoothing: int = 3,
+    ):
+        if windows_per_map < 1:
+            raise ValueError("windows_per_map must be >= 1")
+        if smoothing < 1:
+            raise ValueError("smoothing must be >= 1")
+        self.model = model
+        self.windows_per_map = int(windows_per_map)
+        self.streaming = streaming
+        self.smoothing = int(smoothing)
+        self._window_vectors: Deque[np.ndarray] = deque(maxlen=self.windows_per_map)
+        self._recent_raw: Deque[int] = deque(maxlen=self.smoothing)
+        self.detections: List[Detection] = []
+
+    def push(
+        self,
+        bvp: Sequence[float] = (),
+        gsr: Sequence[float] = (),
+        skt: Sequence[float] = (),
+    ) -> List[Detection]:
+        """Feed raw samples; returns any new (smoothed) detections."""
+        new_detections: List[Detection] = []
+        for event in self.streaming.push(bvp=bvp, gsr=gsr, skt=skt):
+            self._window_vectors.append(event.features)
+            if len(self._window_vectors) < self.windows_per_map:
+                continue
+            values = np.stack(self._window_vectors, axis=1)  # (F, W)
+            fmap = FeatureMap(values, label=0, subject_id=-1)
+            raw = int(self.model.predict_classes([fmap])[0])
+            self._recent_raw.append(raw)
+            votes = np.bincount(list(self._recent_raw), minlength=2)
+            smoothed = int(np.argmax(votes))
+            detection = Detection(
+                window_index=event.index,
+                raw_prediction=raw,
+                smoothed_prediction=smoothed,
+                stream_time=self.streaming.stream_time,
+            )
+            self.detections.append(detection)
+            new_detections.append(detection)
+        return new_detections
+
+    def reset(self) -> None:
+        """Forget stream state (e.g. when the wearable is re-donned)."""
+        self._window_vectors.clear()
+        self._recent_raw.clear()
+        self.detections.clear()

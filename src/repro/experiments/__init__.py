@@ -1,0 +1,32 @@
+"""Programmatic regeneration of every table and figure in the paper.
+
+Each ``run_*`` function executes one experiment end-to-end and returns
+a :class:`~repro.experiments.report.ExperimentReport` carrying the
+formatted text, the raw measurements, and the paper's reference values.
+``python -m repro.experiments`` runs them from the command line.
+"""
+
+from .report import ExperimentReport, ReportRegistry
+from .runner import (
+    ExperimentScale,
+    run_all,
+    run_fig1_pipeline,
+    run_fig2_architecture,
+    run_setup_statistics,
+    run_table1,
+    run_table2_lower,
+    run_table2_upper,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "ReportRegistry",
+    "ExperimentScale",
+    "run_table1",
+    "run_table2_upper",
+    "run_table2_lower",
+    "run_fig1_pipeline",
+    "run_fig2_architecture",
+    "run_setup_statistics",
+    "run_all",
+]

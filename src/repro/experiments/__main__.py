@@ -1,0 +1,92 @@
+"""CLI entry point: ``python -m repro.experiments [options]``.
+
+Regenerates the paper's tables and figures and optionally saves a JSON
+report.  ``--scale paper`` runs the full 44-volunteer corpus (hours);
+the default bench scale finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import ReportRegistry
+from .runner import (
+    ExperimentScale,
+    run_all,
+    run_fig1_pipeline,
+    run_fig2_architecture,
+    run_setup_statistics,
+    run_table1,
+    run_table2_lower,
+    run_table2_upper,
+)
+
+RUNNERS = {
+    "setup": run_setup_statistics,
+    "fig1": run_fig1_pipeline,
+    "fig2": run_fig2_architecture,
+    "table1": run_table1,
+    "table2_upper": run_table2_upper,
+    "table2_lower": run_table2_lower,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the CLEAR paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=(
+            "which experiments to run: "
+            + ", ".join([*RUNNERS, "all"])
+            + " (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["bench", "paper"],
+        default="bench",
+        help="corpus / fold scale (default: bench)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the reports to a JSON file"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = (
+        ExperimentScale.paper() if args.scale == "paper" else ExperimentScale.bench()
+    )
+
+    wanted = list(args.experiments) if args.experiments else ["all"]
+    unknown = [name for name in wanted if name != "all" and name not in RUNNERS]
+    if unknown:
+        print(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(choose from {', '.join([*RUNNERS, 'all'])})",
+            file=sys.stderr,
+        )
+        return 2
+    if "all" in wanted:
+        registry = run_all(scale)
+    else:
+        registry = ReportRegistry()
+        for name in wanted:
+            registry.add(RUNNERS[name](scale))
+
+    print(registry.render())
+    if args.json:
+        path = registry.save_json(args.json)
+        print(f"\nreports written to {path}")
+    return 0 if registry.all_checks_pass else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

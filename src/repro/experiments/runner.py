@@ -1,0 +1,446 @@
+"""Experiment runners: one function per paper table / figure."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..clustering import GlobalClustering
+from ..core import (
+    CLEAR,
+    CLEARConfig,
+    PAPER_TABLE1_REFERENCES,
+    PAPER_TABLE1_RESULTS,
+    architecture_summary,
+    build_cnn_lstm,
+    cl_validation,
+    clear_validation,
+    evaluate_general_model,
+    fine_tune,
+    render_table,
+)
+from ..core.trainer import train_on_maps
+from ..datasets import SyntheticWEMAC, WEMACConfig, split_maps_by_fraction
+from ..edge import ALL_DEVICES, EdgeDeployment, profile_model
+from ..signals import (
+    BVP_FEATURE_NAMES,
+    GSR_FEATURE_NAMES,
+    NUM_FEATURES,
+    SKT_FEATURE_NAMES,
+)
+from .report import ExperimentReport, ReportRegistry
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big the corpus / fold counts are for a run.
+
+    ``bench()`` (the default) finishes in minutes on a laptop;
+    ``paper()`` uses the full 44-volunteer corpus and full LOSO and
+    takes hours of pure-numpy compute.
+    """
+
+    dataset: WEMACConfig
+    clear: CLEARConfig
+    max_folds: Optional[int]
+
+    @staticmethod
+    def bench(seed: int = 2) -> "ExperimentScale":
+        return ExperimentScale(
+            dataset=WEMACConfig(
+                num_subjects=20,
+                trials_per_subject=10,
+                windows_per_map=6,
+                window_seconds=8.0,
+                fs_bvp=32.0,
+                seed=seed,
+            ),
+            clear=CLEARConfig.fast(seed=0),
+            max_folds=5,
+        )
+
+    @staticmethod
+    def paper(seed: int = 0) -> "ExperimentScale":
+        return ExperimentScale(
+            dataset=WEMACConfig(seed=seed),
+            clear=CLEARConfig.paper(seed=0),
+            max_folds=None,
+        )
+
+
+def _generate(scale: ExperimentScale):
+    return SyntheticWEMAC(scale.dataset).generate()
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None, dataset=None
+) -> ExperimentReport:
+    """Table I: all six measured validation rows + orderings."""
+    scale = scale or ExperimentScale.bench()
+    dataset = dataset if dataset is not None else _generate(scale)
+
+    general = evaluate_general_model(
+        dataset,
+        scale.clear,
+        group_size=max(2, dataset.num_subjects // scale.clear.num_clusters),
+        max_folds=scale.max_folds,
+    )
+    cl = cl_validation(
+        dataset,
+        scale.clear,
+        max_folds=None if scale.max_folds is None else 2 * scale.max_folds,
+    )
+    clear = clear_validation(dataset, scale.clear, max_folds=scale.max_folds)
+
+    rows = [general, cl.rt_cl, cl.cl, clear.rt_clear, clear.without_ft, clear.with_ft]
+    text = render_table(
+        rows,
+        title="Table I -- fear / non-fear (synthetic WEMAC)",
+        paper_rows={**PAPER_TABLE1_RESULTS, **PAPER_TABLE1_REFERENCES},
+    )
+    checks = {
+        "cl_beats_general": cl.cl.accuracy_mean > general.accuracy_mean,
+        "rt_cl_collapses": cl.rt_cl.accuracy_mean < cl.cl.accuracy_mean,
+        "wo_ft_beats_rt": clear.without_ft.accuracy_mean
+        > clear.rt_clear.accuracy_mean,
+        "ft_improves": clear.with_ft.accuracy_mean > clear.without_ft.accuracy_mean,
+    }
+    measured = {s.name: s.as_row() for s in rows}
+    measured["cluster_sizes"] = cl.cluster_sizes
+    return ExperimentReport(
+        experiment_id="table1",
+        title="CLEAR validation vs references (paper Table I)",
+        text=text,
+        measured=measured,
+        paper={**PAPER_TABLE1_RESULTS, **PAPER_TABLE1_REFERENCES},
+        checks=checks,
+    )
+
+
+def _edge_folds(scale: ExperimentScale, dataset):
+    """LOSO folds prepared for the Table II experiments."""
+    rng = np.random.default_rng(scale.clear.seed)
+    folds = []
+    subjects = (
+        dataset.subjects
+        if scale.max_folds is None
+        else dataset.subjects[: scale.max_folds]
+    )
+    for record in subjects:
+        population = {
+            s.subject_id: list(s.maps)
+            for s in dataset.subjects
+            if s.subject_id != record.subject_id
+        }
+        system = CLEAR(scale.clear).fit(population)
+        ca_maps, held_back = split_maps_by_fraction(
+            record.maps, scale.clear.ca_data_fraction, rng, stratified=False
+        )
+        assignment = system.assign_new_user(ca_maps)
+        checkpoint = system.model_for(assignment.cluster)
+        ft_fraction = scale.clear.ft_label_fraction / (
+            1.0 - scale.clear.ca_data_fraction
+        )
+        ft_maps, test_maps = split_maps_by_fraction(
+            held_back, ft_fraction, rng, stratified=True
+        )
+        tuned = fine_tune(
+            checkpoint, ft_maps, scale.clear.fine_tuning, seed=scale.clear.seed
+        )
+        calibration = [
+            m
+            for sid in system.gc.members(assignment.cluster)
+            for m in population[sid]
+        ][:12]
+        folds.append(
+            {
+                "checkpoint": checkpoint,
+                "tuned": tuned,
+                "calibration": calibration,
+                "test_maps": test_maps,
+                "ft_examples": len(ft_maps),
+            }
+        )
+    return folds
+
+
+def _platform_accuracy(folds, use_tuned: bool) -> Dict[str, Dict[str, float]]:
+    results = {}
+    for key, device in ALL_DEVICES.items():
+        accs, f1s = [], []
+        for fold in folds:
+            model = fold["tuned"] if use_tuned else fold["checkpoint"]
+            deployment = EdgeDeployment(
+                model, device, calibration_maps=fold["calibration"]
+            )
+            m = deployment.evaluate(fold["test_maps"])
+            accs.append(m["accuracy"] * 100)
+            f1s.append(m["f1"] * 100)
+        results[key] = {
+            "name": device.name,
+            "accuracy": float(np.mean(accs)),
+            "std_acc": float(np.std(accs)),
+            "f1": float(np.mean(f1s)),
+            "std_f1": float(np.std(f1s)),
+        }
+    return results
+
+
+def run_table2_upper(
+    scale: Optional[ExperimentScale] = None, dataset=None, folds=None
+) -> ExperimentReport:
+    """Table II upper: platform accuracy without fine-tuning."""
+    scale = scale or ExperimentScale.bench()
+    dataset = dataset if dataset is not None else _generate(scale)
+    folds = folds if folds is not None else _edge_folds(scale, dataset)
+
+    results = _platform_accuracy(folds, use_tuned=False)
+    paper = {
+        "gpu": {"accuracy": 80.63, "f1": 79.97},
+        "coral_tpu": {"accuracy": 74.17, "f1": 73.57},
+        "pi_ncs2": {"accuracy": 79.03, "f1": 78.48},
+    }
+    lines = ["Table II (upper) -- platform accuracy, CLEAR w/o FT"]
+    for key in ("gpu", "coral_tpu", "pi_ncs2"):
+        r = results[key]
+        p = paper[key]
+        lines.append(
+            f"  {r['name']:<16} acc {r['accuracy']:6.2f} +- {r['std_acc']:5.2f} "
+            f"f1 {r['f1']:6.2f}   (paper {p['accuracy']:.2f} / {p['f1']:.2f})"
+        )
+    checks = {
+        "int8_not_better": results["coral_tpu"]["accuracy"]
+        <= results["gpu"]["accuracy"] + 5.0,
+        "fp16_tracks_gpu": abs(
+            results["pi_ncs2"]["accuracy"] - results["gpu"]["accuracy"]
+        )
+        < 10.0,
+    }
+    return ExperimentReport(
+        experiment_id="table2_upper",
+        title="Edge platform accuracy before FT (paper Table II upper)",
+        text="\n".join(lines),
+        measured=results,
+        paper=paper,
+        checks=checks,
+    )
+
+
+def run_table2_lower(
+    scale: Optional[ExperimentScale] = None, dataset=None, folds=None
+) -> ExperimentReport:
+    """Table II lower: post-FT accuracy + MTC/MPC cost rows."""
+    scale = scale or ExperimentScale.bench()
+    dataset = dataset if dataset is not None else _generate(scale)
+    folds = folds if folds is not None else _edge_folds(scale, dataset)
+
+    results = _platform_accuracy(folds, use_tuned=True)
+    # Cost model rows (identical across folds up to ft_examples).
+    costs = {}
+    for key, device in ALL_DEVICES.items():
+        fold = folds[0]
+        deployment = EdgeDeployment(
+            fold["tuned"], device, calibration_maps=fold["calibration"]
+        )
+        report = deployment.cost_report(
+            fold["test_maps"],
+            ft_examples=fold["ft_examples"],
+            ft_epochs=scale.clear.fine_tuning.epochs,
+        )
+        costs[key] = {
+            "test_ms": report.test_time_s * 1e3,
+            "retrain_s": report.retrain_time_s,
+            "p_idle": report.power_idle_w,
+            "p_test": report.power_test_w,
+            "p_retrain": report.power_retrain_w,
+        }
+    paper = {
+        "gpu": {"accuracy": 86.34, "f1": 86.03},
+        "coral_tpu": {
+            "accuracy": 79.40,
+            "f1": 79.14,
+            "retrain_s": 32.48,
+            "test_ms": 47.31,
+        },
+        "pi_ncs2": {
+            "accuracy": 84.49,
+            "f1": 84.07,
+            "retrain_s": 78.52,
+            "test_ms": 239.70,
+        },
+    }
+    lines = ["Table II (lower) -- after on-device fine-tuning"]
+    for key in ("gpu", "coral_tpu", "pi_ncs2"):
+        r, c = results[key], costs[key]
+        lines.append(
+            f"  {r['name']:<16} acc {r['accuracy']:6.2f} "
+            f"(paper {paper[key]['accuracy']:.2f})  "
+            f"test {c['test_ms']:7.2f} ms  retrain {c['retrain_s']:6.2f} s  "
+            f"P {c['p_idle']:.2f}/{c['p_test']:.2f}/{c['p_retrain']:.2f} W"
+        )
+    checks = {
+        "tpu_faster_test": costs["coral_tpu"]["test_ms"]
+        < costs["pi_ncs2"]["test_ms"],
+        "tpu_faster_retrain": costs["coral_tpu"]["retrain_s"]
+        < costs["pi_ncs2"]["retrain_s"],
+        "tpu_lower_power": costs["coral_tpu"]["p_retrain"]
+        < costs["pi_ncs2"]["p_retrain"],
+        "gpu_not_worse_than_tpu": results["gpu"]["accuracy"]
+        >= results["coral_tpu"]["accuracy"] - 5.0,
+    }
+    return ExperimentReport(
+        experiment_id="table2_lower",
+        title="Edge FT accuracy + time/power (paper Table II lower)",
+        text="\n".join(lines),
+        measured={"accuracy": results, "costs": costs},
+        paper=paper,
+        checks=checks,
+    )
+
+
+def run_fig1_pipeline(
+    scale: Optional[ExperimentScale] = None, dataset=None
+) -> ExperimentReport:
+    """Fig. 1: stage-by-stage walkthrough with wall-clock asymmetry."""
+    scale = scale or ExperimentScale.bench()
+    dataset = dataset if dataset is not None else _generate(scale)
+
+    record = dataset.subjects[0]
+    population = {
+        s.subject_id: list(s.maps)
+        for s in dataset.subjects
+        if s.subject_id != record.subject_id
+    }
+    timings: Dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    system = CLEAR(scale.clear).fit(population)
+    timings["cloud_fit_s"] = time.perf_counter() - t0
+
+    rng = np.random.default_rng(0)
+    ca_maps, held_back = split_maps_by_fraction(
+        record.maps, scale.clear.ca_data_fraction, rng, stratified=False
+    )
+    t0 = time.perf_counter()
+    assignment = system.assign_new_user(ca_maps)
+    timings["edge_assignment_s"] = time.perf_counter() - t0
+
+    ft_maps, test_maps = split_maps_by_fraction(held_back, 0.25, rng)
+    t0 = time.perf_counter()
+    tuned = system.personalize(ft_maps, cluster=assignment.cluster)
+    timings["edge_finetune_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    metrics = tuned.evaluate(test_maps)
+    timings["edge_inference_s"] = time.perf_counter() - t0
+
+    lines = ["Fig. 1 -- CLEAR two-stage pipeline walkthrough"]
+    lines.append(f"  cloud: clustering + pre-training  {timings['cloud_fit_s']:8.2f} s")
+    lines.append(
+        f"  edge: cold-start assignment       {timings['edge_assignment_s'] * 1e3:8.2f} ms"
+    )
+    lines.append(f"  edge: fine-tuning                 {timings['edge_finetune_s']:8.2f} s")
+    lines.append(
+        f"  edge: inference                   {timings['edge_inference_s'] * 1e3:8.2f} ms"
+    )
+    lines.append(
+        f"  result: cluster {assignment.cluster}, accuracy {metrics['accuracy']:.2%}"
+    )
+    checks = {
+        "cloud_dominates": timings["cloud_fit_s"] > timings["edge_finetune_s"],
+        "assignment_instant": timings["edge_assignment_s"] < 1.0,
+    }
+    return ExperimentReport(
+        experiment_id="fig1",
+        title="Two-stage cloud/edge pipeline (paper Fig. 1)",
+        text="\n".join(lines),
+        measured=timings,
+        checks=checks,
+    )
+
+
+def run_fig2_architecture(
+    scale: Optional[ExperimentScale] = None,
+) -> ExperimentReport:
+    """Fig. 2: the CNN-LSTM at paper input scale."""
+    input_shape = (1, 123, 8)
+    model = build_cnn_lstm(input_shape, seed=0)
+    profile = profile_model(model, input_shape)
+    text = (
+        "Fig. 2 -- CNN-LSTM architecture (123 x 8 feature maps)\n"
+        + architecture_summary(input_shape)
+        + f"\n\ntotal MACs per map: {profile.total_macs:,}"
+        + f"\nint8 weights: {profile.memory_bytes(1) / 1024:.1f} KiB"
+    )
+    checks = {
+        "fits_edge_memory": profile.memory_bytes(1) < 1 << 20,
+        "two_convs_one_lstm": [type(l).__name__ for l in model.layers].count(
+            "Conv2D"
+        )
+        == 2,
+    }
+    return ExperimentReport(
+        experiment_id="fig2",
+        title="CNN-LSTM classifier (paper Fig. 2)",
+        text=text,
+        measured={
+            "params": profile.total_params,
+            "macs": profile.total_macs,
+            "int8_kib": profile.memory_bytes(1) / 1024,
+        },
+        checks=checks,
+    )
+
+
+def run_setup_statistics(
+    scale: Optional[ExperimentScale] = None, dataset=None
+) -> ExperimentReport:
+    """Section IV-A: corpus statistics and K = 4 cluster sizes."""
+    scale = scale or ExperimentScale.bench()
+    dataset = dataset if dataset is not None else _generate(scale)
+    summary = dataset.summary()
+    maps_by = {s.subject_id: list(s.maps) for s in dataset.subjects}
+    gc = GlobalClustering(k=scale.clear.num_clusters, seed=0).fit(maps_by)
+    sizes = sorted(gc.cluster_sizes(), reverse=True)
+    text = (
+        "Section IV-A -- setup statistics\n"
+        f"  volunteers: {int(summary['num_subjects'])}\n"
+        f"  feature maps: {int(summary['num_maps'])}\n"
+        f"  features: {int(summary['num_features'])} "
+        f"= {len(BVP_FEATURE_NAMES)} BVP + {len(GSR_FEATURE_NAMES)} GSR "
+        f"+ {len(SKT_FEATURE_NAMES)} SKT\n"
+        f"  K = {scale.clear.num_clusters}, cluster sizes {sizes} "
+        "(paper: [17, 13, 7, 7])"
+    )
+    checks = {
+        "feature_inventory": NUM_FEATURES == 123
+        and len(BVP_FEATURE_NAMES) == 84
+        and len(GSR_FEATURE_NAMES) == 34
+        and len(SKT_FEATURE_NAMES) == 5,
+        "balanced_task": abs(summary["fear_fraction"] - 0.5) < 0.1,
+    }
+    return ExperimentReport(
+        experiment_id="setup",
+        title="Experimental setup statistics (paper §IV-A)",
+        text=text,
+        measured={**summary, "cluster_sizes": sizes},
+        checks=checks,
+    )
+
+
+def run_all(scale: Optional[ExperimentScale] = None) -> ReportRegistry:
+    """Run every experiment once, sharing the corpus and edge folds."""
+    scale = scale or ExperimentScale.bench()
+    dataset = _generate(scale)
+    folds = _edge_folds(scale, dataset)
+    registry = ReportRegistry()
+    registry.add(run_setup_statistics(scale, dataset))
+    registry.add(run_fig2_architecture(scale))
+    registry.add(run_fig1_pipeline(scale, dataset))
+    registry.add(run_table1(scale, dataset))
+    registry.add(run_table2_upper(scale, dataset, folds))
+    registry.add(run_table2_lower(scale, dataset, folds))
+    return registry

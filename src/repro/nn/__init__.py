@@ -1,0 +1,112 @@
+"""A compact, from-scratch numpy deep-learning framework.
+
+This substrate replaces TensorFlow/Keras in the offline reproduction of
+the CLEAR paper.  It provides the layers needed for the paper's
+CNN-LSTM (Fig. 2) plus the training machinery (Adam, early stopping,
+checkpointing, layer freezing for on-device fine-tuning), all verified
+by numerical gradient checks in the test suite.
+"""
+
+from . import activations, initializers
+from .callbacks import BestWeights, Callback, EarlyStopping, History
+from .callbacks_extra import CSVLogger, LambdaCallback, ReduceLROnPlateau
+from .checkpoint import load_model, model_from_config, model_to_config, save_model
+from .layers import (
+    ELU,
+    GRU,
+    LSTM,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    SimpleRNN,
+    Softmax,
+    Tanh,
+    TemporalAttention,
+    ToSequence,
+)
+from .losses import BinaryCrossEntropy, Loss, MeanSquaredError, SoftmaxCrossEntropy
+from .metrics import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    precision_recall_f1,
+)
+from .model import Sequential, iterate_minibatches
+from .optimizers import SGD, Adam, Optimizer, RMSProp
+from .schedules import (
+    Constant,
+    CosineDecay,
+    ExponentialDecay,
+    Schedule,
+    StepDecay,
+    WarmupWrapper,
+)
+
+__all__ = [
+    "activations",
+    "initializers",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "LSTM",
+    "GRU",
+    "SimpleRNN",
+    "TemporalAttention",
+    "Dropout",
+    "BatchNorm",
+    "Flatten",
+    "Reshape",
+    "ToSequence",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "BinaryCrossEntropy",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "Schedule",
+    "Constant",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineDecay",
+    "WarmupWrapper",
+    "Sequential",
+    "iterate_minibatches",
+    "Callback",
+    "History",
+    "EarlyStopping",
+    "BestWeights",
+    "ReduceLROnPlateau",
+    "CSVLogger",
+    "LambdaCallback",
+    "save_model",
+    "load_model",
+    "model_to_config",
+    "model_from_config",
+    "accuracy",
+    "f1_score",
+    "macro_f1",
+    "balanced_accuracy",
+    "precision_recall_f1",
+    "confusion_matrix",
+]

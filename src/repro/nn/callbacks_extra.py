@@ -1,0 +1,117 @@
+"""Additional training callbacks: LR-on-plateau and CSV logging."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .callbacks import Callback
+from .schedules import Constant
+
+
+class ReduceLROnPlateau(Callback):
+    """Shrink the optimizer's learning rate when a metric stalls.
+
+    When ``monitor`` fails to improve for ``patience`` epochs, the
+    optimizer's schedule is replaced by a constant at ``factor`` times
+    the current rate, down to ``min_lr``.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        factor: float = 0.5,
+        patience: int = 3,
+        min_lr: float = 1e-6,
+        min_delta: float = 0.0,
+        mode: str = "min",
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        self.monitor = monitor
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.min_lr = float(min_lr)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: Optional[float] = None
+        self._wait = 0
+        self.reductions: List[float] = []  # new LRs, in order
+
+    def on_train_begin(self, model) -> None:
+        self.best = None
+        self._wait = 0
+        self.reductions = []
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_epoch_end(self, model, epoch: int, logs: Dict[str, float]) -> None:
+        if self.monitor not in logs or model.optimizer is None:
+            return
+        value = float(logs[self.monitor])
+        if self._improved(value):
+            self.best = value
+            self._wait = 0
+            return
+        self._wait += 1
+        if self._wait > self.patience:
+            current = model.optimizer.lr
+            new_lr = max(self.min_lr, current * self.factor)
+            if new_lr < current:
+                model.optimizer.schedule = Constant(new_lr)
+                self.reductions.append(new_lr)
+            self._wait = 0
+
+
+class CSVLogger(Callback):
+    """Append per-epoch logs to a CSV file (creates header on first epoch)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fieldnames: Optional[List[str]] = None
+
+    def on_train_begin(self, model) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fieldnames = None
+        # Truncate any previous run's file.
+        self.path.write_text("")
+
+    def on_epoch_end(self, model, epoch: int, logs: Dict[str, float]) -> None:
+        if self._fieldnames is None:
+            self._fieldnames = sorted(logs)
+            with open(self.path, "a", newline="", encoding="utf-8") as f:
+                csv.DictWriter(f, fieldnames=self._fieldnames).writeheader()
+        row = {k: logs.get(k, "") for k in self._fieldnames}
+        with open(self.path, "a", newline="", encoding="utf-8") as f:
+            csv.DictWriter(f, fieldnames=self._fieldnames).writerow(row)
+
+
+class LambdaCallback(Callback):
+    """Wire ad-hoc functions into the training loop."""
+
+    def __init__(self, on_epoch_end=None, on_train_begin=None, on_train_end=None):
+        self._on_epoch_end = on_epoch_end
+        self._on_train_begin = on_train_begin
+        self._on_train_end = on_train_end
+
+    def on_train_begin(self, model) -> None:
+        if self._on_train_begin:
+            self._on_train_begin(model)
+
+    def on_epoch_end(self, model, epoch: int, logs: Dict[str, float]) -> None:
+        if self._on_epoch_end:
+            self._on_epoch_end(model, epoch, logs)
+
+    def on_train_end(self, model) -> None:
+        if self._on_train_end:
+            self._on_train_end(model)

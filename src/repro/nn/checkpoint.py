@@ -1,0 +1,97 @@
+"""Model checkpointing: architecture as JSON, weights as .npz.
+
+A checkpoint is a single ``.npz`` file containing every parameter
+array, the architecture config serialized to JSON, and non-trainable
+layer state (e.g. BatchNorm running statistics).  This mirrors the
+paper's workflow of saving the best-performing cluster checkpoints on
+the cloud and shipping them to edge devices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .layers import LAYER_REGISTRY
+from .model import Sequential
+
+
+def model_to_config(model: Sequential) -> list:
+    """Serializable architecture description (one dict per layer)."""
+    config = []
+    for layer in model.layers:
+        entry = {"class": type(layer).__name__, "config": layer.get_config()}
+        config.append(entry)
+    return config
+
+
+def model_from_config(config: list, seed: int = 0) -> Sequential:
+    """Rebuild an (unbuilt) model from :func:`model_to_config` output."""
+    layers = []
+    for entry in config:
+        cls_name = entry["class"]
+        if cls_name not in LAYER_REGISTRY:
+            raise ValueError(f"unknown layer class in checkpoint: {cls_name!r}")
+        cls = LAYER_REGISTRY[cls_name]
+        kwargs = dict(entry["config"])
+        # JSON turns tuples into lists; constructors accept both.
+        layers.append(cls(**kwargs))
+    return Sequential(layers, seed=seed)
+
+
+def save_model(model: Sequential, path: Union[str, Path]) -> Path:
+    """Write the model architecture + weights + state to ``path`` (.npz)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = {"__config__": np.frombuffer(
+        json.dumps(model_to_config(model)).encode("utf-8"), dtype=np.uint8
+    )}
+    for i, layer in enumerate(model.layers):
+        for key, value in layer.params.items():
+            arrays[f"param/{i}/{key}"] = value
+        if hasattr(layer, "get_state"):
+            for key, value in layer.get_state().items():
+                arrays[f"state/{i}/{key}"] = value
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_model(path: Union[str, Path], seed: int = 0) -> Sequential:
+    """Load a model saved by :func:`save_model`; ready for inference.
+
+    The returned model still needs :meth:`Sequential.compile` before
+    further training (the optimizer is not checkpointed).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        config = json.loads(bytes(data["__config__"].tobytes()).decode("utf-8"))
+        model = model_from_config(config, seed=seed)
+        # Group arrays per layer index.
+        params: dict = {}
+        states: dict = {}
+        for name in data.files:
+            if name == "__config__":
+                continue
+            kind, idx, key = name.split("/", 2)
+            idx = int(idx)
+            if kind == "param":
+                params.setdefault(idx, {})[key] = data[name]
+            elif kind == "state":
+                states.setdefault(idx, {})[key] = data[name]
+        for idx, layer in enumerate(model.layers):
+            if idx in params:
+                for key, value in params[idx].items():
+                    layer.params[key] = np.asarray(value, dtype=np.float64)
+                layer.zero_grads()
+                layer.built = True
+            if idx in states and hasattr(layer, "set_state"):
+                # BatchNorm needs param shapes set before state; params
+                # were restored above, but _axes/_param_shape come from
+                # build, so trigger a build with a dummy if unbuilt.
+                layer.set_state(states[idx])
+    return model

@@ -1,0 +1,150 @@
+"""Weight initialization schemes for the numpy neural-network substrate.
+
+Every initializer is a callable ``(shape, rng) -> np.ndarray`` so layers
+can stay agnostic of the scheme.  Schemes follow the standard literature:
+Glorot/Xavier (Glorot & Bengio, 2010) for tanh/sigmoid-style layers,
+He (He et al., 2015) for ReLU-style layers, and orthogonal
+(Saxe et al., 2014) for recurrent kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight tensor shape.
+
+    For 2D weights ``(in, out)`` this is the obvious pair.  For
+    convolution kernels ``(out_channels, in_channels, kh, kw)`` the
+    receptive-field size multiplies both fans, matching Keras semantics.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros tensor; the conventional choice for biases."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-ones tensor; used for BatchNorm scale parameters."""
+    del rng
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(value: float) -> Initializer:
+    """Return an initializer filling the tensor with ``value``.
+
+    Useful for LSTM forget-gate bias (commonly 1.0).
+    """
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        del rng
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init
+
+
+def uniform(low: float = -0.05, high: float = 0.05) -> Initializer:
+    """Uniform initializer over ``[low, high)``."""
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(low, high, size=shape).astype(np.float64)
+
+    return _init
+
+
+def normal(mean: float = 0.0, std: float = 0.05) -> Initializer:
+    """Gaussian initializer with the given mean and standard deviation."""
+
+    def _init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(mean, std, size=shape).astype(np.float64)
+
+    return _init
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(-a, a) with a = sqrt(6 / fan_in); suited to ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2 / fan_in); suited to ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initializer; preserves norms through deep/recurrent maps.
+
+    The tensor is flattened to 2D, a QR decomposition of a Gaussian
+    matrix provides the orthonormal factor, and the result is reshaped.
+    """
+    if len(shape) < 2:
+        return glorot_uniform(shape, rng)
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    size = (max(rows, cols), min(rows, cols))
+    a = rng.normal(0.0, 1.0, size=size)
+    q, r = np.linalg.qr(a)
+    # Sign correction makes the distribution uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols].reshape(shape).astype(np.float64)
+
+
+_REGISTRY = {
+    "zeros": zeros,
+    "ones": ones,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get(name_or_fn) -> Initializer:
+    """Resolve an initializer from a name or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"Unknown initializer {name_or_fn!r}; known: {sorted(_REGISTRY)}"
+        ) from None

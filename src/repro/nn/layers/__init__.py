@@ -1,0 +1,61 @@
+"""Layer zoo for the numpy neural-network substrate."""
+
+from .activation_layers import ELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .attention import TemporalAttention
+from .base import Layer
+from .conv import AvgPool2D, Conv2D, MaxPool2D
+from .dense import Dense
+from .dropout import Dropout
+from .gru import GRU
+from .norm import BatchNorm
+from .recurrent import LSTM, SimpleRNN
+from .reshape import Flatten, Reshape, ToSequence
+
+LAYER_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        Dense,
+        Conv2D,
+        MaxPool2D,
+        AvgPool2D,
+        LSTM,
+        GRU,
+        SimpleRNN,
+        TemporalAttention,
+        Dropout,
+        BatchNorm,
+        Flatten,
+        Reshape,
+        ToSequence,
+        ReLU,
+        LeakyReLU,
+        ELU,
+        Sigmoid,
+        Tanh,
+        Softmax,
+    )
+}
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "LSTM",
+    "GRU",
+    "SimpleRNN",
+    "TemporalAttention",
+    "Dropout",
+    "BatchNorm",
+    "Flatten",
+    "Reshape",
+    "ToSequence",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "LAYER_REGISTRY",
+]

@@ -1,0 +1,127 @@
+"""Activation functions wrapped as layers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import activations as F
+from .base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit layer."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.relu_grad(self._x)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU layer."""
+
+    def __init__(self, alpha: float = 0.01, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.alpha = float(alpha)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.leaky_relu(x, self.alpha)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.leaky_relu_grad(self._x, self.alpha)
+
+    def get_config(self) -> Dict:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+class ELU(Layer):
+    """Exponential linear unit layer."""
+
+    def __init__(self, alpha: float = 1.0, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.alpha = float(alpha)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.elu(x, self.alpha)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.elu_grad(self._x, self.alpha)
+
+    def get_config(self) -> Dict:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid layer."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = F.sigmoid(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.sigmoid_grad_from_output(self._y)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent layer."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = F.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * F.tanh_grad_from_output(self._y)
+
+
+class Softmax(Layer):
+    """Softmax layer over the last axis.
+
+    Prefer :class:`repro.nn.losses.SoftmaxCrossEntropy` on logits for
+    training; this layer exists for inference pipelines that need
+    explicit probabilities.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = F.softmax(x, axis=-1)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        y = self._y
+        dot = np.sum(grad_out * y, axis=-1, keepdims=True)
+        return y * (grad_out - dot)

@@ -1,0 +1,327 @@
+"""2D convolution and pooling layers (NCHW layout) built on im2col.
+
+im2col turns convolution into a single large matrix multiply, which is
+the standard trick for getting acceptable performance from a pure-numpy
+implementation while keeping backprop exact and simple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import initializers
+from .base import Layer
+
+PadSpec = Union[str, int, Tuple[int, int]]
+
+
+def _pair(value) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a (h, w) tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def resolve_padding(
+    padding: PadSpec, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> Tuple[int, int]:
+    """Resolve a padding spec into per-axis symmetric pad sizes.
+
+    ``'same'`` pads so that output size equals ``ceil(input / stride)``
+    for odd kernels with stride 1; ``'valid'`` means no padding.
+    """
+    if isinstance(padding, str):
+        mode = padding.lower()
+        if mode == "valid":
+            return 0, 0
+        if mode == "same":
+            return (kernel[0] - 1) // 2, (kernel[1] - 1) // 2
+        raise ValueError(f"unknown padding mode {padding!r}")
+    return _pair(padding)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size "
+            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of receptive fields.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    # Strided view: (N, C, out_h, out_w, kh, kw)
+    s_n, s_c, s_h, s_w = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    pad: Tuple[int, int],
+) -> np.ndarray:
+    """Fold gradient columns back into an image tensor (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols6[
+                :, :, :, :, i, j
+            ]
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+class Conv2D(Layer):
+    """2D convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    filters:
+        Number of output channels.
+    kernel_size:
+        Int or (kh, kw).
+    stride:
+        Int or (sh, sw).
+    padding:
+        ``'same'``, ``'valid'``, an int, or a (ph, pw) pair.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size=3,
+        stride=1,
+        padding: PadSpec = "same",
+        use_bias: bool = True,
+        kernel_init="he_uniform",
+        bias_init="zeros",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if filters <= 0:
+            raise ValueError(f"filters must be positive, got {filters}")
+        self.filters = int(filters)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding_spec = padding
+        self.pad = resolve_padding(padding, self.kernel_size, self.stride)
+        self.use_bias = bool(use_bias)
+        self.kernel_init = initializers.get(kernel_init)
+        self.bias_init = initializers.get(bias_init)
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(f"Conv2D expects (C, H, W) inputs, got {input_shape}")
+        in_channels = int(input_shape[0])
+        kh, kw = self.kernel_size
+        self.params["W"] = self.kernel_init((self.filters, in_channels, kh, kw), rng)
+        if self.use_bias:
+            self.params["b"] = self.bias_init((self.filters,), rng)
+        self.zero_grads()
+        self.built = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.pad)
+        w2d = self.params["W"].reshape(self.filters, -1)
+        out = cols @ w2d.T
+        if self.use_bias:
+            out = out + self.params["b"]
+        self._cols = cols
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return out.reshape(n, out_h, out_w, self.filters).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n = grad_out.shape[0]
+        grad2d = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.filters)
+        self.grads["W"] = (grad2d.T @ self._cols).reshape(self.params["W"].shape)
+        if self.use_bias:
+            self.grads["b"] = grad2d.sum(axis=0)
+        grad_cols = grad2d @ self.params["W"].reshape(self.filters, -1)
+        return col2im(
+            grad_cols, self._x_shape, self.kernel_size, self.stride, self.pad
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        _, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel_size[0], self.stride[0], self.pad[0])
+        out_w = conv_output_size(w, self.kernel_size[1], self.stride[1], self.pad[1])
+        return (self.filters, out_h, out_w)
+
+    def get_config(self) -> Dict:
+        return {
+            "name": self.name,
+            "filters": self.filters,
+            "kernel_size": list(self.kernel_size),
+            "stride": list(self.stride),
+            "padding": self.padding_spec
+            if isinstance(self.padding_spec, str)
+            else list(_pair(self.padding_spec)),
+            "use_bias": self.use_bias,
+        }
+
+
+class MaxPool2D(Layer):
+    """Max pooling over NCHW inputs."""
+
+    def __init__(self, pool_size=2, stride=None, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.pool_size = _pair(pool_size)
+        self.stride = _pair(stride) if stride is not None else self.pool_size
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._argmax: Optional[np.ndarray] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        out_h = conv_output_size(h, kh, sh, 0)
+        out_w = conv_output_size(w, kw, sw, 0)
+        s_n, s_c, s_h, s_w = x.strides
+        view = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, kh, kw),
+            strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
+            writeable=False,
+        )
+        windows = view.reshape(n, c, out_h, out_w, kh * kw)
+        self._argmax = windows.argmax(axis=-1)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None or self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        out_h, out_w = self._out_hw
+        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        # Scatter each output gradient back to its argmax location.
+        oh_idx, ow_idx = np.meshgrid(
+            np.arange(out_h), np.arange(out_w), indexing="ij"
+        )
+        rows = oh_idx[None, None] * sh + self._argmax // kw
+        cols = ow_idx[None, None] * sw + self._argmax % kw
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad_in, (n_idx, c_idx, rows, cols), grad_out)
+        return grad_in
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size[0], self.stride[0], 0)
+        out_w = conv_output_size(w, self.pool_size[1], self.stride[1], 0)
+        return (c, out_h, out_w)
+
+    def get_config(self) -> Dict:
+        return {
+            "name": self.name,
+            "pool_size": list(self.pool_size),
+            "stride": list(self.stride),
+        }
+
+
+class AvgPool2D(Layer):
+    """Average pooling over NCHW inputs."""
+
+    def __init__(self, pool_size=2, stride=None, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.pool_size = _pair(pool_size)
+        self.stride = _pair(stride) if stride is not None else self.pool_size
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        out_h = conv_output_size(h, kh, sh, 0)
+        out_w = conv_output_size(w, kw, sw, 0)
+        s_n, s_c, s_h, s_w = x.strides
+        view = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, kh, kw),
+            strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
+            writeable=False,
+        )
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        return view.mean(axis=(-2, -1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        kh, kw = self.pool_size
+        sh, sw = self.stride
+        out_h, out_w = self._out_hw
+        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        scale = 1.0 / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                grad_in[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
+                    grad_out * scale
+                )
+        return grad_in
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size[0], self.stride[0], 0)
+        out_w = conv_output_size(w, self.pool_size[1], self.stride[1], 0)
+        return (c, out_h, out_w)
+
+    def get_config(self) -> Dict:
+        return {
+            "name": self.name,
+            "pool_size": list(self.pool_size),
+            "stride": list(self.stride),
+        }

@@ -1,0 +1,74 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import initializers
+from .base import Layer
+
+
+class Dense(Layer):
+    """Affine transform ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    units:
+        Output dimensionality.
+    use_bias:
+        Whether to add the learned bias ``b``.
+    kernel_init, bias_init:
+        Initializer names or callables (see :mod:`repro.nn.initializers`).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        kernel_init="glorot_uniform",
+        bias_init="zeros",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.use_bias = bool(use_bias)
+        self.kernel_init = initializers.get(kernel_init)
+        self.bias_init = initializers.get(bias_init)
+        self._x: Optional[np.ndarray] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects flat inputs of shape (features,), got {input_shape}"
+            )
+        in_features = int(input_shape[0])
+        self.params["W"] = self.kernel_init((in_features, self.units), rng)
+        if self.use_bias:
+            self.params["b"] = self.bias_init((self.units,), rng)
+        self.zero_grads()
+        self.built = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        out = x @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] = self._x.T @ grad_out
+        if self.use_bias:
+            self.grads["b"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.units,)
+
+    def get_config(self) -> Dict:
+        return {"name": self.name, "units": self.units, "use_bias": self.use_bias}

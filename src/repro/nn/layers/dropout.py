@@ -1,0 +1,43 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .base import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: scale kept units by 1/(1-rate) during training.
+
+    At evaluation time (``layer.training == False``) the layer is the
+    identity, so no test-time rescaling is needed.
+    """
+
+    def __init__(
+        self, rate: float, seed: Optional[int] = None, name: Optional[str] = None
+    ):
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def get_config(self) -> Dict:
+        return {"name": self.name, "rate": self.rate}

@@ -1,0 +1,256 @@
+"""Recurrent layers: LSTM and a simple (Elman) RNN.
+
+Inputs are batches of sequences, shape ``(N, T, F)``.  Backpropagation
+through time is exact and unrolled over the full sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import initializers
+from ..activations import sigmoid, tanh
+from .base import Layer
+
+
+class LSTM(Layer):
+    """Long short-term memory layer (Hochreiter & Schmidhuber, 1997).
+
+    Gate layout follows the Keras convention: the hidden-size-4 kernel
+    columns are ordered input (i), forget (f), cell candidate (g),
+    output (o).  Forget-gate bias is initialized to 1.0, the standard
+    trick for stable early training.
+
+    Parameters
+    ----------
+    units:
+        Hidden state dimensionality.
+    return_sequences:
+        If True the output is the full hidden sequence ``(N, T, units)``;
+        otherwise only the last hidden state ``(N, units)``.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_init="glorot_uniform",
+        recurrent_init="orthogonal",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.kernel_init = initializers.get(kernel_init)
+        self.recurrent_init = initializers.get(recurrent_init)
+        self._cache: Optional[Dict] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(f"LSTM expects (T, F) inputs, got {input_shape}")
+        features = int(input_shape[1])
+        h = self.units
+        self.params["W"] = self.kernel_init((features, 4 * h), rng)
+        self.params["U"] = self.recurrent_init((h, 4 * h), rng)
+        bias = np.zeros(4 * h, dtype=np.float64)
+        bias[h : 2 * h] = 1.0  # forget gate bias
+        self.params["b"] = bias
+        self.zero_grads()
+        self.built = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        h = self.units
+        w, u, b = self.params["W"], self.params["U"], self.params["b"]
+        h_prev = np.zeros((n, h), dtype=np.float64)
+        c_prev = np.zeros((n, h), dtype=np.float64)
+        hs = np.zeros((n, t, h), dtype=np.float64)
+        cache_steps: List[Dict[str, np.ndarray]] = []
+        x_proj = x @ w  # (N, T, 4h) — hoist the input projection out of the loop
+        for step in range(t):
+            z = x_proj[:, step, :] + h_prev @ u + b
+            i = sigmoid(z[:, :h])
+            f = sigmoid(z[:, h : 2 * h])
+            g = tanh(z[:, 2 * h : 3 * h])
+            o = sigmoid(z[:, 3 * h :])
+            c = f * c_prev + i * g
+            tanh_c = tanh(c)
+            h_new = o * tanh_c
+            cache_steps.append(
+                {
+                    "i": i,
+                    "f": f,
+                    "g": g,
+                    "o": o,
+                    "c": c,
+                    "tanh_c": tanh_c,
+                    "c_prev": c_prev,
+                    "h_prev": h_prev,
+                }
+            )
+            hs[:, step, :] = h_new
+            h_prev, c_prev = h_new, c
+        self._cache = {"x": x, "steps": cache_steps, "hs": hs}
+        return hs if self.return_sequences else hs[:, -1, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache["x"]
+        steps = self._cache["steps"]
+        n, t, features = x.shape
+        h = self.units
+        w, u = self.params["W"], self.params["U"]
+
+        if self.return_sequences:
+            grad_hs = grad_out
+        else:
+            grad_hs = np.zeros((n, t, h), dtype=np.float64)
+            grad_hs[:, -1, :] = grad_out
+
+        d_w = np.zeros_like(w)
+        d_u = np.zeros_like(u)
+        d_b = np.zeros(4 * h, dtype=np.float64)
+        d_x = np.zeros_like(x)
+        dh_next = np.zeros((n, h), dtype=np.float64)
+        dc_next = np.zeros((n, h), dtype=np.float64)
+
+        for step in range(t - 1, -1, -1):
+            cache = steps[step]
+            dh = grad_hs[:, step, :] + dh_next
+            i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+            tanh_c = cache["tanh_c"]
+            dc = dc_next + dh * o * (1.0 - tanh_c * tanh_c)
+            do = dh * tanh_c
+            di = dc * g
+            dg = dc * i
+            df = dc * cache["c_prev"]
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g * g),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            d_w += x[:, step, :].T @ dz
+            d_u += cache["h_prev"].T @ dz
+            d_b += dz.sum(axis=0)
+            d_x[:, step, :] = dz @ w.T
+            dh_next = dz @ u.T
+            dc_next = dc * f
+
+        self.grads["W"] = d_w
+        self.grads["U"] = d_u
+        self.grads["b"] = d_b
+        return d_x
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        t, _ = input_shape
+        if self.return_sequences:
+            return (t, self.units)
+        return (self.units,)
+
+    def get_config(self) -> Dict:
+        return {
+            "name": self.name,
+            "units": self.units,
+            "return_sequences": self.return_sequences,
+        }
+
+
+class SimpleRNN(Layer):
+    """Elman RNN with tanh non-linearity; a lightweight LSTM alternative."""
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_init="glorot_uniform",
+        recurrent_init="orthogonal",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.kernel_init = initializers.get(kernel_init)
+        self.recurrent_init = initializers.get(recurrent_init)
+        self._cache: Optional[Dict] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(f"SimpleRNN expects (T, F) inputs, got {input_shape}")
+        features = int(input_shape[1])
+        self.params["W"] = self.kernel_init((features, self.units), rng)
+        self.params["U"] = self.recurrent_init((self.units, self.units), rng)
+        self.params["b"] = np.zeros(self.units, dtype=np.float64)
+        self.zero_grads()
+        self.built = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        h_prev = np.zeros((n, self.units), dtype=np.float64)
+        hs = np.zeros((n, t, self.units), dtype=np.float64)
+        for step in range(t):
+            h_prev = tanh(
+                x[:, step, :] @ self.params["W"]
+                + h_prev @ self.params["U"]
+                + self.params["b"]
+            )
+            hs[:, step, :] = h_prev
+        self._cache = {"x": x, "hs": hs}
+        return hs if self.return_sequences else hs[:, -1, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, hs = self._cache["x"], self._cache["hs"]
+        n, t, _ = x.shape
+        if self.return_sequences:
+            grad_hs = grad_out
+        else:
+            grad_hs = np.zeros_like(hs)
+            grad_hs[:, -1, :] = grad_out
+
+        d_w = np.zeros_like(self.params["W"])
+        d_u = np.zeros_like(self.params["U"])
+        d_b = np.zeros_like(self.params["b"])
+        d_x = np.zeros_like(x)
+        dh_next = np.zeros((n, self.units), dtype=np.float64)
+        for step in range(t - 1, -1, -1):
+            dh = grad_hs[:, step, :] + dh_next
+            h_t = hs[:, step, :]
+            dz = dh * (1.0 - h_t * h_t)
+            h_prev = (
+                hs[:, step - 1, :] if step > 0 else np.zeros((n, self.units))
+            )
+            d_w += x[:, step, :].T @ dz
+            d_u += h_prev.T @ dz
+            d_b += dz.sum(axis=0)
+            d_x[:, step, :] = dz @ self.params["W"].T
+            dh_next = dz @ self.params["U"].T
+
+        self.grads["W"] = d_w
+        self.grads["U"] = d_u
+        self.grads["b"] = d_b
+        return d_x
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        t, _ = input_shape
+        if self.return_sequences:
+            return (t, self.units)
+        return (self.units,)
+
+    def get_config(self) -> Dict:
+        return {
+            "name": self.name,
+            "units": self.units,
+            "return_sequences": self.return_sequences,
+        }

@@ -1,0 +1,88 @@
+"""Shape-manipulation layers: Flatten, Reshape, and the CNN→LSTM bridge."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .base import Layer
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions into one."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class Reshape(Layer):
+    """Reshape non-batch dimensions to ``target_shape``."""
+
+    def __init__(self, target_shape: Tuple[int, ...], name: Optional[str] = None):
+        super().__init__(name=name)
+        self.target_shape = tuple(int(s) for s in target_shape)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._x_shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if int(np.prod(input_shape)) != int(np.prod(self.target_shape)):
+            raise ValueError(
+                f"cannot reshape {input_shape} into {self.target_shape}"
+            )
+        return self.target_shape
+
+    def get_config(self) -> Dict:
+        return {"name": self.name, "target_shape": list(self.target_shape)}
+
+
+class ToSequence(Layer):
+    """Bridge a conv feature map (N, C, H, W) into an LSTM sequence.
+
+    The W (time-window) axis becomes the sequence axis and each step's
+    features are the flattened (C, H) slice, i.e. output shape is
+    ``(N, W, C*H)``.  This mirrors how the CLEAR CNN-LSTM treats the
+    feature-map window axis as time (Fig. 2 of the paper).
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"ToSequence expects (N, C, H, W) inputs, got {x.shape}")
+        self._x_shape = x.shape
+        n, c, h, w = x.shape
+        return x.transpose(0, 3, 1, 2).reshape(n, w, c * h)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        return grad_out.reshape(n, w, c, h).transpose(0, 2, 3, 1)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        return (w, c * h)

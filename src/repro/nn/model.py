@@ -1,0 +1,252 @@
+"""The Sequential model: forward/backward orchestration and training loop."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import losses as losses_mod
+from . import optimizers as optim_mod
+from .callbacks import Callback, History
+from .layers.base import Layer
+from .metrics import accuracy
+
+
+def iterate_minibatches(
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+):
+    """Yield index arrays covering ``range(n)`` in mini-batches."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    indices = np.arange(n)
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng()
+        rng.shuffle(indices)
+    for start in range(0, n, batch_size):
+        yield indices[start : start + batch_size]
+
+
+class Sequential:
+    """A linear stack of layers with a Keras-like training API.
+
+    Parameters
+    ----------
+    layers:
+        Layer instances executed in order.
+    seed:
+        Seed for parameter initialization (and batch shuffling).
+    """
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None, seed: int = 0):
+        self.layers: List[Layer] = list(layers) if layers else []
+        self.rng = np.random.default_rng(seed)
+        self.loss: Optional[losses_mod.Loss] = None
+        self.optimizer: Optional[optim_mod.Optimizer] = None
+        self.history = History()
+        self.stop_training = False
+
+    # -- construction ----------------------------------------------------
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def compile(
+        self,
+        loss: Union[str, losses_mod.Loss] = "softmax_cross_entropy",
+        optimizer: Union[str, optim_mod.Optimizer] = "adam",
+    ) -> "Sequential":
+        """Attach a loss and optimizer; returns self for chaining."""
+        self.loss = losses_mod.get(loss)
+        self.optimizer = optim_mod.get(optimizer)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Eagerly build all layers from a (batch-less) input shape."""
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            if not layer.built:
+                layer.build(shape, self.rng)
+                layer.built = True
+            shape = layer.output_shape(shape)
+
+    # -- computation -----------------------------------------------------
+    def set_training(self, training: bool) -> None:
+        for layer in self.layers:
+            layer.training = training
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack; builds lazily from the first batch."""
+        self.set_training(training)
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            layer.ensure_built(out, self.rng)
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate a loss gradient through the stack."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in eval mode, batched to bound memory."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Argmax class predictions."""
+        return self.predict(x, batch_size=batch_size).argmax(axis=1)
+
+    # -- training --------------------------------------------------------
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One optimization step on a single batch; returns the loss."""
+        if self.loss is None or self.optimizer is None:
+            raise RuntimeError("call compile() before training")
+        logits = self.forward(x, training=True)
+        loss_value = self.loss.loss(logits, y)
+        grad = self.loss.grad(logits, y)
+        self.backward(grad)
+        self.optimizer.step(self.layers)
+        return loss_value
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 32,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        callbacks: Optional[Iterable[Callback]] = None,
+        verbose: bool = False,
+    ) -> History:
+        """Mini-batch training loop with optional validation and callbacks."""
+        if self.loss is None or self.optimizer is None:
+            raise RuntimeError("call compile() before training")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on batch size: {x.shape[0]} vs {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        callbacks = list(callbacks) if callbacks else []
+        all_callbacks: List[Callback] = [self.history] + callbacks
+        self.stop_training = False
+        for cb in all_callbacks:
+            cb.on_train_begin(self)
+
+        for epoch in range(epochs):
+            epoch_losses = []
+            for batch_idx in iterate_minibatches(x.shape[0], batch_size, self.rng):
+                epoch_losses.append(self.train_batch(x[batch_idx], y[batch_idx]))
+            logs: Dict[str, float] = {
+                "loss": float(np.mean(epoch_losses)),
+                "epoch": float(epoch),
+            }
+            train_pred = self.predict(x)
+            logs["accuracy"] = accuracy(y, train_pred)
+            if validation_data is not None:
+                val_x, val_y = validation_data
+                val_logits = self.predict(np.asarray(val_x, dtype=np.float64))
+                logs["val_loss"] = self.loss.loss(val_logits, np.asarray(val_y))
+                logs["val_accuracy"] = accuracy(np.asarray(val_y), val_logits)
+            for cb in all_callbacks:
+                cb.on_epoch_end(self, epoch, logs)
+            if verbose:
+                parts = ", ".join(f"{k}={v:.4f}" for k, v in logs.items())
+                print(f"epoch {epoch + 1}/{epochs}: {parts}")
+            if any(cb.stop_training for cb in all_callbacks):
+                self.stop_training = True
+                break
+
+        for cb in all_callbacks:
+            cb.on_train_end(self)
+        return self.history
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> Dict[str, float]:
+        """Loss and accuracy on held-out data."""
+        if self.loss is None:
+            raise RuntimeError("call compile() before evaluate")
+        logits = self.predict(x, batch_size=batch_size)
+        y = np.asarray(y)
+        return {
+            "loss": self.loss.loss(logits, y),
+            "accuracy": accuracy(y, logits),
+        }
+
+    # -- weights / freezing ----------------------------------------------
+    def get_weights(self) -> List[Dict[str, np.ndarray]]:
+        """Copy of every layer's parameters (ordered by layer)."""
+        return [
+            {key: value.copy() for key, value in layer.params.items()}
+            for layer in self.layers
+        ]
+
+    def set_weights(self, weights: List[Dict[str, np.ndarray]]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        if len(weights) != len(self.layers):
+            raise ValueError(
+                f"weight list has {len(weights)} entries for {len(self.layers)} layers"
+            )
+        for layer, wdict in zip(self.layers, weights):
+            for key, value in wdict.items():
+                if key not in layer.params:
+                    raise KeyError(f"layer {layer.name} has no parameter {key!r}")
+                if layer.params[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {layer.name}.{key}: "
+                        f"{layer.params[key].shape} vs {value.shape}"
+                    )
+                layer.params[key] = np.asarray(value, dtype=np.float64).copy()
+
+    def freeze_layers(self, names_or_count: Union[int, Sequence[str]]) -> None:
+        """Freeze the first N layers, or layers matched by name."""
+        if isinstance(names_or_count, int):
+            for layer in self.layers[:names_or_count]:
+                layer.freeze()
+        else:
+            wanted = set(names_or_count)
+            for layer in self.layers:
+                if layer.name in wanted:
+                    layer.freeze()
+
+    def unfreeze_all(self) -> None:
+        for layer in self.layers:
+            layer.unfreeze()
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def num_params(self) -> int:
+        return sum(layer.num_params for layer in self.layers)
+
+    def summary(self, input_shape: Optional[Tuple[int, ...]] = None) -> str:
+        """Human-readable table of layers, output shapes, and params."""
+        lines = [f"{'layer':<28}{'output shape':<22}{'params':>10}"]
+        lines.append("-" * 60)
+        shape = tuple(input_shape) if input_shape else None
+        for layer in self.layers:
+            if shape is not None:
+                shape = layer.output_shape(shape)
+                shape_str = str(shape)
+            else:
+                shape_str = "?"
+            lines.append(
+                f"{layer.name:<28}{shape_str:<22}{layer.num_params:>10}"
+            )
+        lines.append("-" * 60)
+        lines.append(f"total params: {self.num_params}")
+        return "\n".join(lines)

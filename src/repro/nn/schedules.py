@@ -1,0 +1,92 @@
+"""Learning-rate schedules as callables of the global step."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+
+class Schedule:
+    """Base class: maps an integer step to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class Constant(Schedule):
+    """Constant learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.base_lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``factor`` every ``every`` steps."""
+
+    def __init__(self, lr: float, factor: float = 0.5, every: int = 100):
+        if every <= 0:
+            raise ValueError(f"'every' must be positive, got {every}")
+        self.base_lr = float(lr)
+        self.factor = float(factor)
+        self.every = int(every)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr * self.factor ** (step // self.every)
+
+
+class ExponentialDecay(Schedule):
+    """Smooth exponential decay: lr * rate^(step / steps)."""
+
+    def __init__(self, lr: float, rate: float = 0.96, steps: int = 100):
+        if steps <= 0:
+            raise ValueError(f"'steps' must be positive, got {steps}")
+        self.base_lr = float(lr)
+        self.rate = float(rate)
+        self.steps = int(steps)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr * self.rate ** (step / self.steps)
+
+
+class CosineDecay(Schedule):
+    """Cosine annealing from lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        self.base_lr = float(lr)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(Schedule):
+    """Linear warmup for ``warmup_steps``, then delegate to ``inner``."""
+
+    def __init__(self, inner: Schedule, warmup_steps: int):
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        self.inner = inner
+        self.warmup_steps = int(warmup_steps)
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.inner(self.warmup_steps) * (step + 1) / self.warmup_steps
+        return self.inner(step)
+
+
+def resolve_schedule(lr: Union[float, int, Schedule]) -> Schedule:
+    """Coerce a bare number into a :class:`Constant` schedule."""
+    if isinstance(lr, Schedule):
+        return lr
+    return Constant(float(lr))

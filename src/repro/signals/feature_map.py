@@ -1,0 +1,128 @@
+"""2D feature maps M ∈ R^{F×W} and their normalization.
+
+A feature map stacks the per-window 123-feature vectors of W
+consecutive windows column-wise, turning a multi-channel physiological
+recording into an "image" that the CNN-LSTM consumes (paper §III-A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .features import NUM_FEATURES
+
+
+@dataclass
+class FeatureMap:
+    """One labelled 2D feature map.
+
+    Attributes
+    ----------
+    values:
+        Array of shape (F, W): F features by W time windows.
+    label:
+        Integer class label (e.g. 1 = fear, 0 = non-fear).
+    subject_id:
+        Originating volunteer, used by LOSO splitting.
+    """
+
+    values: np.ndarray
+    label: int
+    subject_id: int
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError(
+                f"feature map must be 2D (F, W), got shape {self.values.shape}"
+            )
+
+    @property
+    def num_features(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_windows(self) -> int:
+        return self.values.shape[1]
+
+    def as_nn_input(self) -> np.ndarray:
+        """Reshape to the NCHW tensor layout expected by Conv2D: (1, F, W)."""
+        return self.values[None, :, :]
+
+
+def build_feature_map(
+    window_vectors: np.ndarray, label: int, subject_id: int
+) -> FeatureMap:
+    """Stack per-window feature vectors (W, F) into a FeatureMap (F, W)."""
+    window_vectors = np.asarray(window_vectors, dtype=np.float64)
+    if window_vectors.ndim != 2:
+        raise ValueError(
+            f"expected (W, F) window vectors, got shape {window_vectors.shape}"
+        )
+    return FeatureMap(window_vectors.T, label=label, subject_id=subject_id)
+
+
+class FeatureNormalizer:
+    """Per-feature z-score normalization with train-set statistics.
+
+    Fit on training feature maps only, then applied to train and test
+    alike — the standard leak-free protocol for LOSO evaluation.
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = float(eps)
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, maps: Sequence[FeatureMap]) -> "FeatureNormalizer":
+        if not maps:
+            raise ValueError("cannot fit normalizer on an empty set")
+        stacked = np.concatenate([m.values for m in maps], axis=1)  # (F, sum W)
+        self.mean_ = stacked.mean(axis=1, keepdims=True)
+        self.std_ = stacked.std(axis=1, keepdims=True)
+        return self
+
+    def transform(self, fmap: FeatureMap) -> FeatureMap:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("normalizer must be fitted before transform")
+        values = (fmap.values - self.mean_) / (self.std_ + self.eps)
+        return FeatureMap(values, label=fmap.label, subject_id=fmap.subject_id)
+
+    def transform_all(self, maps: Sequence[FeatureMap]) -> List[FeatureMap]:
+        return [self.transform(m) for m in maps]
+
+    def fit_transform(self, maps: Sequence[FeatureMap]) -> List[FeatureMap]:
+        return self.fit(maps).transform_all(maps)
+
+
+def maps_to_arrays(maps: Sequence[FeatureMap]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack maps into (N, 1, F, W) inputs and (N,) labels for the NN.
+
+    All maps must share the same (F, W) shape.
+    """
+    if not maps:
+        return (
+            np.empty((0, 1, NUM_FEATURES, 0), dtype=np.float64),
+            np.empty((0,), dtype=np.int64),
+        )
+    shapes = {m.values.shape for m in maps}
+    if len(shapes) != 1:
+        raise ValueError(f"inconsistent feature-map shapes: {sorted(shapes)}")
+    x = np.stack([m.as_nn_input() for m in maps], axis=0)
+    y = np.array([m.label for m in maps], dtype=np.int64)
+    return x, y
+
+
+def subject_signature(maps: Sequence[FeatureMap]) -> np.ndarray:
+    """Per-subject signature vector: the mean feature vector across maps.
+
+    This is the D ∈ R^{F×N} representation the paper clusters on (one
+    column per user).
+    """
+    if not maps:
+        raise ValueError("cannot summarize an empty set of maps")
+    per_map_means = np.stack([m.values.mean(axis=1) for m in maps], axis=0)
+    return per_map_means.mean(axis=0)

@@ -1,0 +1,123 @@
+"""The 123-feature extractor combining BVP, GSR and SKT channels.
+
+This is the feature-map generation front end of CLEAR (Section III-A.1
+of the paper): 84 BVP + 34 GSR + 5 SKT = 123 features per time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bvp import BVP_FEATURE_NAMES, extract_bvp_features
+from .gsr import GSR_FEATURE_NAMES, extract_gsr_features
+from .skt import SKT_FEATURE_NAMES, extract_skt_features
+
+#: Canonical ordering of all 123 features (BVP, then GSR, then SKT).
+ALL_FEATURE_NAMES: List[str] = (
+    BVP_FEATURE_NAMES + GSR_FEATURE_NAMES + SKT_FEATURE_NAMES
+)
+
+NUM_FEATURES = len(ALL_FEATURE_NAMES)
+
+
+@dataclass
+class SensorRates:
+    """Per-channel sampling rates in Hz."""
+
+    bvp: float = 64.0
+    gsr: float = 4.0
+    skt: float = 4.0
+
+    def validate(self) -> None:
+        for name in ("bvp", "gsr", "skt"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} rate must be positive")
+
+
+@dataclass
+class FeatureExtractor:
+    """Windowed extractor producing 123-dimensional feature vectors.
+
+    Parameters
+    ----------
+    rates:
+        Sampling rates for the three channels.
+    window_seconds:
+        Analysis window duration (the paper windows each stimulus
+        response; 20 s is a typical choice for fear detection).
+    step_seconds:
+        Hop between consecutive windows; defaults to non-overlapping.
+    """
+
+    rates: SensorRates = field(default_factory=SensorRates)
+    window_seconds: float = 20.0
+    step_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.rates.validate()
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.step_seconds is None:
+            self.step_seconds = self.window_seconds
+        if self.step_seconds <= 0:
+            raise ValueError("step_seconds must be positive")
+
+    @property
+    def feature_names(self) -> List[str]:
+        return list(ALL_FEATURE_NAMES)
+
+    def extract_window(
+        self, bvp: np.ndarray, gsr: np.ndarray, skt: np.ndarray
+    ) -> np.ndarray:
+        """Extract the 123 features from one aligned window triple."""
+        features: Dict[str, float] = {}
+        features.update(extract_bvp_features(bvp, self.rates.bvp))
+        features.update(extract_gsr_features(gsr, self.rates.gsr))
+        features.update(extract_skt_features(skt, self.rates.skt))
+        vector = np.array(
+            [features[name] for name in ALL_FEATURE_NAMES], dtype=np.float64
+        )
+        # Guard against numerical blowups (entropies, ratios) so downstream
+        # clustering and DL training never see NaN/inf.
+        return np.nan_to_num(vector, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def window_counts(self, n_bvp: int, n_gsr: int, n_skt: int) -> int:
+        """Number of aligned windows available across the three channels."""
+        counts = []
+        for n, fs in (
+            (n_bvp, self.rates.bvp),
+            (n_gsr, self.rates.gsr),
+            (n_skt, self.rates.skt),
+        ):
+            w = int(self.window_seconds * fs)
+            s = int(self.step_seconds * fs)
+            counts.append(max(0, (n - w) // s + 1) if n >= w else 0)
+        return min(counts)
+
+    def extract_recording(
+        self, bvp: np.ndarray, gsr: np.ndarray, skt: np.ndarray
+    ) -> np.ndarray:
+        """Slide over a full recording; returns (num_windows, 123).
+
+        The three channels are segmented over the same wall-clock grid
+        so window *i* covers the same time span in each channel.
+        """
+        bvp = np.asarray(bvp, dtype=np.float64)
+        gsr = np.asarray(gsr, dtype=np.float64)
+        skt = np.asarray(skt, dtype=np.float64)
+        count = self.window_counts(bvp.size, gsr.size, skt.size)
+        if count == 0:
+            return np.empty((0, NUM_FEATURES), dtype=np.float64)
+
+        rows = []
+        for i in range(count):
+            segs = []
+            for x, fs in ((bvp, self.rates.bvp), (gsr, self.rates.gsr), (skt, self.rates.skt)):
+                w = int(self.window_seconds * fs)
+                s = int(self.step_seconds * fs)
+                segs.append(x[i * s : i * s + w])
+            rows.append(self.extract_window(*segs))
+        return np.stack(rows, axis=0)

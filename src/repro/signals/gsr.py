@@ -1,0 +1,165 @@
+"""Galvanic skin response (GSR / EDA) processing: 34 features.
+
+The signal is decomposed into a slow tonic component (skin conductance
+level, SCL) and a fast phasic component containing skin conductance
+responses (SCRs).  Feature groups: 10 raw statistics, 6 derivative
+features, 6 tonic features, 12 phasic/SCR features — 34 total, matching
+the paper's GSR inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import signal as sps
+
+from .filters import butter_lowpass, linear_trend
+from .stats import iqr, safe_kurtosis, safe_skew
+
+#: Cutoff separating tonic (below) from phasic (above) activity, Hz.
+TONIC_CUTOFF_HZ = 0.05
+
+
+def decompose_gsr(gsr: np.ndarray, fs: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Split GSR into (tonic, phasic) via low-pass filtering.
+
+    The tonic SCL is the < 0.05 Hz component; the phasic driver is the
+    residual.  This is the standard cvxEDA-free approximation and is
+    sufficient for SCR counting/amplitude statistics.
+    """
+    gsr = np.asarray(gsr, dtype=np.float64)
+    if gsr.size < int(2 * fs):
+        raise ValueError(
+            f"GSR window too short: {gsr.size} samples at {fs} Hz"
+        )
+    tonic = butter_lowpass(gsr, TONIC_CUTOFF_HZ, fs, order=2)
+    phasic = gsr - tonic
+    return tonic, phasic
+
+
+def detect_scrs(
+    phasic: np.ndarray, fs: float, min_amplitude: float = 0.05
+) -> Dict[str, np.ndarray]:
+    """Detect skin conductance responses in the phasic component.
+
+    An SCR is a peak in the phasic driver with amplitude above
+    ``min_amplitude`` (in the signal's units; 0.05 uS is the standard
+    EDA threshold) measured from the preceding onset (local minimum).  Returns peak indices, onset
+    indices, amplitudes, and rise times in seconds.
+    """
+    phasic = np.asarray(phasic, dtype=np.float64)
+    # SCRs are 1-5 s events; enforce >= 1 s separation.
+    min_distance = max(1, int(fs))
+    peaks, _ = sps.find_peaks(phasic, distance=min_distance)
+    onsets: List[int] = []
+    amplitudes: List[float] = []
+    rise_times: List[float] = []
+    kept_peaks: List[int] = []
+    prev_peak = 0
+    for peak in peaks:
+        segment_start = prev_peak
+        onset = segment_start + int(np.argmin(phasic[segment_start : peak + 1]))
+        amp = phasic[peak] - phasic[onset]
+        if amp >= min_amplitude and peak > onset:
+            kept_peaks.append(int(peak))
+            onsets.append(int(onset))
+            amplitudes.append(float(amp))
+            rise_times.append(float((peak - onset) / fs))
+        prev_peak = peak
+    return {
+        "peaks": np.array(kept_peaks, dtype=int),
+        "onsets": np.array(onsets, dtype=int),
+        "amplitudes": np.array(amplitudes, dtype=np.float64),
+        "rise_times": np.array(rise_times, dtype=np.float64),
+    }
+
+
+def _scr_recovery_times(
+    phasic: np.ndarray, scrs: Dict[str, np.ndarray], fs: float
+) -> np.ndarray:
+    """Half-recovery time per SCR: time to fall to 50 % of amplitude."""
+    recoveries: List[float] = []
+    peaks = scrs["peaks"]
+    amps = scrs["amplitudes"]
+    for i, peak in enumerate(peaks):
+        target = phasic[peak] - 0.5 * amps[i]
+        end = peaks[i + 1] if i + 1 < len(peaks) else phasic.size
+        below = np.nonzero(phasic[peak:end] <= target)[0]
+        if below.size:
+            recoveries.append(float(below[0] / fs))
+    return np.array(recoveries, dtype=np.float64)
+
+
+def extract_gsr_features(gsr: np.ndarray, fs: float) -> Dict[str, float]:
+    """Extract the 34 GSR features from one analysis window."""
+    gsr = np.asarray(gsr, dtype=np.float64)
+    tonic, phasic = decompose_gsr(gsr, fs)
+    duration_min = gsr.size / fs / 60.0
+
+    features: Dict[str, float] = {}
+    # 10 raw statistics.
+    q75, q25 = np.percentile(gsr, [75, 25])
+    features["gsr_mean"] = float(gsr.mean())
+    features["gsr_std"] = float(gsr.std())
+    features["gsr_min"] = float(gsr.min())
+    features["gsr_max"] = float(gsr.max())
+    features["gsr_range"] = float(gsr.max() - gsr.min())
+    features["gsr_median"] = float(np.median(gsr))
+    features["gsr_skew"] = safe_skew(gsr)
+    features["gsr_kurtosis"] = safe_kurtosis(gsr)
+    features["gsr_rms"] = float(np.sqrt(np.mean(gsr * gsr)))
+    features["gsr_iqr"] = float(q75 - q25)
+
+    # 6 first-derivative features.
+    d1 = np.diff(gsr) * fs  # units per second
+    features["gsr_d1_mean"] = float(d1.mean())
+    features["gsr_d1_std"] = float(d1.std())
+    features["gsr_d1_max"] = float(d1.max())
+    features["gsr_d1_min"] = float(d1.min())
+    features["gsr_d1_mean_abs"] = float(np.mean(np.abs(d1)))
+    features["gsr_d1_neg_prop"] = float(np.mean(d1 < 0))
+
+    # 6 tonic (SCL) features.
+    features["gsr_tonic_mean"] = float(tonic.mean())
+    features["gsr_tonic_std"] = float(tonic.std())
+    features["gsr_tonic_slope"] = linear_trend(tonic, fs)
+    features["gsr_tonic_min"] = float(tonic.min())
+    features["gsr_tonic_max"] = float(tonic.max())
+    features["gsr_tonic_range"] = float(tonic.max() - tonic.min())
+
+    # 12 phasic / SCR features.
+    scrs = detect_scrs(phasic, fs)
+    amps = scrs["amplitudes"]
+    rises = scrs["rise_times"]
+    recoveries = _scr_recovery_times(phasic, scrs, fs)
+    features["scr_count"] = float(len(amps))
+    features["scr_rate"] = float(len(amps) / duration_min) if duration_min > 0 else 0.0
+    features["scr_amp_mean"] = float(amps.mean()) if amps.size else 0.0
+    features["scr_amp_std"] = float(amps.std()) if amps.size else 0.0
+    features["scr_amp_max"] = float(amps.max()) if amps.size else 0.0
+    features["scr_amp_sum"] = float(amps.sum()) if amps.size else 0.0
+    features["scr_rise_mean"] = float(rises.mean()) if rises.size else 0.0
+    features["scr_rise_std"] = float(rises.std()) if rises.size else 0.0
+    features["scr_recovery_mean"] = (
+        float(recoveries.mean()) if recoveries.size else 0.0
+    )
+    features["gsr_phasic_mean"] = float(phasic.mean())
+    features["gsr_phasic_std"] = float(phasic.std())
+    features["gsr_phasic_energy"] = float(np.sum(phasic * phasic) / phasic.size)
+
+    return features
+
+
+def _feature_names() -> List[str]:
+    rng = np.random.default_rng(0)
+    fs = 4.0
+    t = np.arange(0, 60.0, 1.0 / fs)
+    demo = 2.0 + 0.02 * t + 0.1 * rng.normal(size=t.size)
+    return list(extract_gsr_features(demo, fs).keys())
+
+
+#: Canonical ordered names of the 34 GSR features.
+GSR_FEATURE_NAMES: List[str] = _feature_names()
+
+NUM_GSR_FEATURES = len(GSR_FEATURE_NAMES)

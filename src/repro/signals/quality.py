@@ -1,0 +1,183 @@
+"""Signal quality assessment and artifact injection.
+
+Wearable recordings are plagued by motion spikes, sensor dropouts,
+clipping, and baseline wander.  This module provides (a) injectors
+that synthesize those artifacts — used for failure-injection testing of
+the whole CLEAR pipeline — and (b) quality indices that quantify how
+corrupted a window is, so deployments can gate feature extraction on
+signal quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Artifact injection
+# ---------------------------------------------------------------------------
+
+
+def inject_motion_spikes(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    rate_per_minute: float,
+    fs: float,
+    amplitude_scale: float = 8.0,
+) -> np.ndarray:
+    """Add sharp biphasic motion spikes at Poisson-distributed times."""
+    x = np.asarray(x, dtype=np.float64).copy()
+    if rate_per_minute < 0:
+        raise ValueError("rate_per_minute must be >= 0")
+    duration_min = x.size / fs / 60.0
+    num_spikes = rng.poisson(rate_per_minute * duration_min)
+    scale = amplitude_scale * (x.std() + 1e-9)
+    spike_len = max(2, int(0.1 * fs))
+    for _ in range(num_spikes):
+        pos = int(rng.integers(0, max(1, x.size - spike_len)))
+        shape = np.sin(np.linspace(0, 2 * np.pi, spike_len))
+        x[pos : pos + spike_len] += scale * rng.choice([-1.0, 1.0]) * shape
+    return x
+
+
+def inject_dropout(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    fraction: float,
+    fs: float,
+    hold_value: Optional[float] = None,
+) -> np.ndarray:
+    """Replace a contiguous fraction of the signal with a flatline.
+
+    Models a sensor losing skin contact; ``hold_value`` defaults to the
+    last good sample (typical ADC behaviour).
+    """
+    x = np.asarray(x, dtype=np.float64).copy()
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if fraction == 0.0:
+        return x
+    gap = max(1, int(fraction * x.size))
+    start = int(rng.integers(0, max(1, x.size - gap)))
+    value = x[start - 1] if (hold_value is None and start > 0) else (
+        hold_value if hold_value is not None else x[0]
+    )
+    x[start : start + gap] = value
+    return x
+
+
+def inject_clipping(x: np.ndarray, fraction_of_range: float = 0.7) -> np.ndarray:
+    """Saturate the signal at a fraction of its dynamic range."""
+    x = np.asarray(x, dtype=np.float64).copy()
+    if not 0.0 < fraction_of_range <= 1.0:
+        raise ValueError("fraction_of_range must be in (0, 1]")
+    center = np.median(x)
+    half_range = 0.5 * (x.max() - x.min()) * fraction_of_range
+    return np.clip(x, center - half_range, center + half_range)
+
+
+def inject_baseline_wander(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    fs: float,
+    amplitude_scale: float = 3.0,
+    frequency_hz: float = 0.05,
+) -> np.ndarray:
+    """Add slow sinusoidal drift (cable sway / respiration coupling)."""
+    x = np.asarray(x, dtype=np.float64).copy()
+    t = np.arange(x.size) / fs
+    amp = amplitude_scale * (x.std() + 1e-9)
+    phase = rng.uniform(0, 2 * np.pi)
+    return x + amp * np.sin(2 * np.pi * frequency_hz * t + phase)
+
+
+# ---------------------------------------------------------------------------
+# Quality indices
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QualityReport:
+    """Per-window signal quality summary.
+
+    All component indices are in [0, 1], 1 = clean.  ``overall`` is the
+    minimum (a window is only as good as its worst failure mode).
+    """
+
+    flatline: float
+    clipping: float
+    spikes: float
+    overall: float
+
+    @property
+    def acceptable(self) -> bool:
+        """Default gate used by quality-aware pipelines."""
+        return self.overall >= 0.5
+
+
+def flatline_fraction(x: np.ndarray, eps: Optional[float] = None) -> float:
+    """Fraction of consecutive samples with (near-)zero difference."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("signal too short for flatline detection")
+    if eps is None:
+        eps = 1e-6 * max(x.std(), 1e-12)
+    return float(np.mean(np.abs(np.diff(x)) <= eps))
+
+
+def clipping_fraction(x: np.ndarray, tol: float = 1e-9) -> float:
+    """Fraction of samples sitting exactly at the signal extremes."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("signal too short for clipping detection")
+    lo, hi = x.min(), x.max()
+    if hi - lo < tol:
+        return 1.0  # fully flat counts as fully clipped
+    return float(np.mean((np.abs(x - lo) < tol) | (np.abs(x - hi) < tol)))
+
+
+def spike_score(x: np.ndarray, z_threshold: float = 6.0) -> float:
+    """Fraction of samples whose derivative is a >z-sigma outlier.
+
+    Uses the median absolute deviation of the first difference, which
+    is robust to the spikes being scored.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 3:
+        raise ValueError("signal too short for spike detection")
+    d = np.diff(x)
+    mad = np.median(np.abs(d - np.median(d)))
+    sigma = 1.4826 * mad
+    if sigma < 1e-12:
+        return 0.0
+    return float(np.mean(np.abs(d - np.median(d)) > z_threshold * sigma))
+
+
+def assess_quality(x: np.ndarray) -> QualityReport:
+    """Compute the quality report for one signal window."""
+    flat = flatline_fraction(x)
+    clip = clipping_fraction(x)
+    spikes = spike_score(x)
+    # Map raw fractions onto [0, 1] quality scores.  A clean signal has
+    # near-zero fractions; scale so typical corruption drops the score
+    # substantially.
+    q_flat = float(np.clip(1.0 - 2.0 * flat, 0.0, 1.0))
+    q_clip = float(np.clip(1.0 - 5.0 * clip, 0.0, 1.0))
+    q_spikes = float(np.clip(1.0 - 20.0 * spikes, 0.0, 1.0))
+    overall = min(q_flat, q_clip, q_spikes)
+    return QualityReport(
+        flatline=q_flat, clipping=q_clip, spikes=q_spikes, overall=overall
+    )
+
+
+def quality_by_channel(
+    bvp: np.ndarray, gsr: np.ndarray, skt: np.ndarray
+) -> Dict[str, QualityReport]:
+    """Quality reports for the three CLEAR channels."""
+    return {
+        "bvp": assess_quality(bvp),
+        "gsr": assess_quality(gsr),
+        "skt": assess_quality(skt),
+    }

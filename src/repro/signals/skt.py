@@ -1,0 +1,39 @@
+"""Skin temperature (SKT) processing: the paper's 5 SKT features."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .filters import linear_trend
+
+
+def extract_skt_features(skt: np.ndarray, fs: float) -> Dict[str, float]:
+    """Extract the 5 SKT features from one analysis window.
+
+    SKT is a slow signal; the informative content is its level and
+    drift: mean, std, slope (deg/s), min and max.
+    """
+    skt = np.asarray(skt, dtype=np.float64)
+    if skt.size < 2:
+        raise ValueError(f"SKT window too short: {skt.size} samples")
+    return {
+        "skt_mean": float(skt.mean()),
+        "skt_std": float(skt.std()),
+        "skt_slope": linear_trend(skt, fs),
+        "skt_min": float(skt.min()),
+        "skt_max": float(skt.max()),
+    }
+
+
+#: Canonical ordered names of the 5 SKT features.
+SKT_FEATURE_NAMES: List[str] = [
+    "skt_mean",
+    "skt_std",
+    "skt_slope",
+    "skt_min",
+    "skt_max",
+]
+
+NUM_SKT_FEATURES = len(SKT_FEATURE_NAMES)

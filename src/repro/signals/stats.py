@@ -1,0 +1,53 @@
+"""Shared descriptive-statistics helpers for feature extraction."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy import stats as spstats
+
+
+def basic_stats(x: np.ndarray, prefix: str) -> Dict[str, float]:
+    """The 12 descriptive statistics used across all sensor channels."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError(f"signal too short for statistics: {x.size}")
+    q75, q25 = np.percentile(x, [75, 25])
+    std = x.std()
+    return {
+        f"{prefix}_mean": float(x.mean()),
+        f"{prefix}_std": float(std),
+        f"{prefix}_min": float(x.min()),
+        f"{prefix}_max": float(x.max()),
+        f"{prefix}_range": float(x.max() - x.min()),
+        f"{prefix}_median": float(np.median(x)),
+        f"{prefix}_iqr": float(q75 - q25),
+        f"{prefix}_skew": float(spstats.skew(x)) if std > 1e-12 else 0.0,
+        f"{prefix}_kurtosis": float(spstats.kurtosis(x)) if std > 1e-12 else 0.0,
+        f"{prefix}_rms": float(np.sqrt(np.mean(x * x))),
+        f"{prefix}_mad": float(np.mean(np.abs(x - x.mean()))),
+        f"{prefix}_energy": float(np.sum(x * x) / x.size),
+    }
+
+
+def safe_skew(x: np.ndarray) -> float:
+    """Skewness, zero for (near-)constant inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 3 or x.std() < 1e-12:
+        return 0.0
+    return float(spstats.skew(x))
+
+
+def safe_kurtosis(x: np.ndarray) -> float:
+    """Excess kurtosis, zero for (near-)constant inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 4 or x.std() < 1e-12:
+        return 0.0
+    return float(spstats.kurtosis(x))
+
+
+def iqr(x: np.ndarray) -> float:
+    """Interquartile range."""
+    q75, q25 = np.percentile(np.asarray(x, dtype=np.float64), [75, 25])
+    return float(q75 - q25)

@@ -1,0 +1,70 @@
+"""Sliding-window segmentation of raw recordings."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+def num_windows(n_samples: int, window: int, step: int) -> int:
+    """Number of full windows of length ``window`` at stride ``step``."""
+    if window <= 0 or step <= 0:
+        raise ValueError("window and step must be positive")
+    if n_samples < window:
+        return 0
+    return (n_samples - window) // step + 1
+
+
+def sliding_windows(
+    x: np.ndarray, window: int, step: int
+) -> np.ndarray:
+    """View a 1D signal as a (num_windows, window) array of segments.
+
+    Windows are full-length only; a trailing partial window is dropped,
+    matching standard practice in physiological feature extraction.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1D signal, got shape {x.shape}")
+    count = num_windows(x.size, window, step)
+    if count == 0:
+        return np.empty((0, window), dtype=x.dtype)
+    stride = x.strides[0]
+    view = np.lib.stride_tricks.as_strided(
+        x, shape=(count, window), strides=(step * stride, stride), writeable=False
+    )
+    return view.copy()
+
+
+def window_times(
+    n_samples: int, window: int, step: int, fs: float
+) -> np.ndarray:
+    """Center time (seconds) of each window produced by sliding_windows."""
+    count = num_windows(n_samples, window, step)
+    starts = np.arange(count) * step
+    return (starts + window / 2.0) / fs
+
+
+def segment_multichannel(
+    channels: List[np.ndarray], windows: List[int], steps: List[int]
+) -> Iterator[Tuple[int, List[np.ndarray]]]:
+    """Jointly segment channels that share a timeline but differ in rate.
+
+    ``windows[i]``/``steps[i]`` are per-channel sample counts chosen so
+    that each channel's window covers the same wall-clock duration.
+    Yields ``(window_index, [segment_per_channel])`` for the common
+    number of windows across channels.
+    """
+    if not (len(channels) == len(windows) == len(steps)):
+        raise ValueError("channels, windows and steps must align")
+    counts = [
+        num_windows(len(ch), w, s) for ch, w, s in zip(channels, windows, steps)
+    ]
+    common = min(counts) if counts else 0
+    segmented = [
+        sliding_windows(ch, w, s)[:common]
+        for ch, w, s in zip(channels, windows, steps)
+    ]
+    for i in range(common):
+        yield i, [seg[i] for seg in segmented]

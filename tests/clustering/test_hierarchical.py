@@ -1,0 +1,107 @@
+"""Tests for agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.hierarchical import (
+    Dendrogram,
+    agglomerative_cluster,
+    agglomerative_labels,
+    cophenetic_heights,
+)
+
+
+def blobs(rng, centers, n_per=12, spread=0.3):
+    points = []
+    truth = []
+    for i, c in enumerate(centers):
+        points.append(rng.normal(c, spread, size=(n_per, len(c))))
+        truth.extend([i] * n_per)
+    return np.concatenate(points), np.array(truth)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(91)
+
+
+def is_relabelling(labels, truth):
+    """labels == truth up to a cluster-name permutation."""
+    for c in np.unique(labels):
+        members = truth[labels == c]
+        if not (members == members[0]).all():
+            return False
+    return len(np.unique(labels)) == len(np.unique(truth))
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_separated_blobs(self, rng, linkage):
+        x, truth = blobs(rng, [[0, 0], [12, 0], [0, 12]])
+        labels = agglomerative_labels(x, 3, linkage)
+        assert is_relabelling(labels, truth)
+
+    def test_dendrogram_structure(self, rng):
+        x, _ = blobs(rng, [[0, 0], [10, 0]], n_per=5)
+        dendro = agglomerative_cluster(x, "average")
+        assert dendro.n_leaves == 10
+        assert len(dendro.merges) == 9
+        assert dendro.merges[-1].size == 10
+
+    def test_heights_monotone_for_ward(self, rng):
+        x, _ = blobs(rng, [[0, 0], [8, 8]], n_per=8)
+        dendro = agglomerative_cluster(x, "ward")
+        heights = cophenetic_heights(dendro)
+        assert np.all(np.diff(heights) >= -1e-9)
+
+    def test_heights_monotone_for_complete(self, rng):
+        x, _ = blobs(rng, [[0, 0], [8, 8]], n_per=8)
+        heights = cophenetic_heights(agglomerative_cluster(x, "complete"))
+        assert np.all(np.diff(heights) >= -1e-9)
+
+    def test_cut_boundaries(self, rng):
+        x, _ = blobs(rng, [[0, 0], [10, 10]], n_per=4)
+        dendro = agglomerative_cluster(x)
+        assert len(np.unique(dendro.cut(1))) == 1
+        assert len(np.unique(dendro.cut(8))) == 8  # every leaf its own
+
+    def test_cut_k_out_of_range(self, rng):
+        x, _ = blobs(rng, [[0, 0], [5, 5]], n_per=3)
+        dendro = agglomerative_cluster(x)
+        with pytest.raises(ValueError, match="k must be"):
+            dendro.cut(0)
+        with pytest.raises(ValueError, match="k must be"):
+            dendro.cut(99)
+
+    def test_unknown_linkage(self, rng):
+        x, _ = blobs(rng, [[0, 0], [5, 5]])
+        with pytest.raises(ValueError, match="unknown linkage"):
+            agglomerative_cluster(x, "centroid-ish")
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            agglomerative_cluster(np.ones((1, 3)))
+
+    def test_two_points(self):
+        dendro = agglomerative_cluster(np.array([[0.0], [1.0]]))
+        labels = dendro.cut(2)
+        assert set(labels) == {0, 1}
+
+    def test_single_linkage_chains(self, rng):
+        """Single linkage must connect a chain that complete would split."""
+        # A tight chain of points plus one far blob.
+        chain = np.column_stack([np.arange(10) * 1.0, np.zeros(10)])
+        blob = rng.normal([30.0, 0.0], 0.2, size=(5, 2))
+        x = np.concatenate([chain, blob])
+        labels = agglomerative_labels(x, 2, "single")
+        assert is_relabelling(labels, np.array([0] * 10 + [1] * 5))
+
+    def test_matches_kmeans_on_easy_data(self, rng):
+        """Both algorithms agree on well-separated blobs (the GC ablation)."""
+        from repro.clustering import KMeans
+
+        x, truth = blobs(rng, [[0, 0], [15, 0], [0, 15], [15, 15]], n_per=8)
+        agglo = agglomerative_labels(x, 4, "ward")
+        km = KMeans(4, seed=0).fit(x).labels
+        assert is_relabelling(agglo, truth)
+        assert is_relabelling(km, truth)

@@ -1,0 +1,124 @@
+"""Tests for k-means and its helpers."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    KMeans,
+    assign_to_centers,
+    kmeans_plus_plus_init,
+    pairwise_sq_distances,
+)
+
+
+def make_blobs(rng, centers, n_per=30, spread=0.3):
+    points = []
+    labels = []
+    for i, c in enumerate(centers):
+        points.append(rng.normal(c, spread, size=(n_per, len(c))))
+        labels.extend([i] * n_per)
+    return np.concatenate(points), np.array(labels)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        x = rng.normal(size=(10, 4))
+        c = rng.normal(size=(3, 4))
+        d = pairwise_sq_distances(x, c)
+        naive = np.array(
+            [[np.sum((xi - cj) ** 2) for cj in c] for xi in x]
+        )
+        np.testing.assert_allclose(d, naive, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        x = rng.normal(size=(50, 8))
+        assert np.all(pairwise_sq_distances(x, x) >= 0.0)
+
+    def test_self_distance_zero(self, rng):
+        x = rng.normal(size=(5, 3))
+        d = pairwise_sq_distances(x, x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+
+class TestKMeansPlusPlus:
+    def test_seeds_spread_across_blobs(self, rng):
+        centers = [[0, 0], [10, 0], [0, 10], [10, 10]]
+        x, _ = make_blobs(rng, centers)
+        seeds = kmeans_plus_plus_init(x, 4, rng)
+        # Each seed should be close to a distinct true center.
+        d = np.sqrt(pairwise_sq_distances(np.array(centers, float), seeds))
+        assert d.min(axis=1).max() < 2.0
+
+    def test_degenerate_identical_points(self, rng):
+        x = np.ones((10, 2))
+        seeds = kmeans_plus_plus_init(x, 3, rng)
+        assert seeds.shape == (3, 2)
+
+
+class TestKMeansFit:
+    def test_recovers_blobs(self, rng):
+        centers = [[0, 0], [8, 0], [0, 8]]
+        x, truth = make_blobs(rng, centers)
+        result = KMeans(3, seed=0).fit(x)
+        # Cluster assignments should be a relabelling of the truth.
+        for c in range(3):
+            members = truth[result.labels == c]
+            assert (members == members[0]).all()
+
+    def test_centers_near_truth(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        x, _ = make_blobs(rng, centers.tolist())
+        result = KMeans(2, seed=0).fit(x)
+        d = np.sqrt(pairwise_sq_distances(centers, result.centers))
+        assert d.min(axis=1).max() < 0.5
+
+    def test_inertia_decreases_with_k(self, rng):
+        x, _ = make_blobs(rng, [[0, 0], [5, 5], [10, 0]])
+        inertias = [KMeans(k, seed=0).fit(x).inertia for k in (1, 2, 3, 5)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_one_centroid_is_mean(self, rng):
+        x = rng.normal(size=(40, 3))
+        result = KMeans(1, seed=0).fit(x)
+        np.testing.assert_allclose(result.centers[0], x.mean(axis=0), atol=1e-9)
+
+    def test_determinism(self, rng):
+        x, _ = make_blobs(rng, [[0, 0], [5, 5]])
+        a = KMeans(2, seed=7).fit(x)
+        b = KMeans(2, seed=7).fit(x)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_no_empty_clusters(self, rng):
+        # One far outlier, k=3 on tight data tends to produce empties
+        # without the re-seeding guard.
+        x = np.concatenate([rng.normal(0, 0.1, size=(50, 2)), [[100.0, 100.0]]])
+        result = KMeans(3, seed=0).fit(x)
+        assert len(np.unique(result.labels)) == 3
+
+    def test_too_few_samples_raises(self, rng):
+        with pytest.raises(ValueError, match="cannot make"):
+            KMeans(5).fit(rng.normal(size=(3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            KMeans(0)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError, match=r"\(n, F\)"):
+            KMeans(2).fit(rng.normal(size=10))
+
+
+class TestAssignToCenters:
+    def test_nearest_assignment(self):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0]])
+        x = np.array([[1.0, 0.0], [9.0, 0.0]])
+        np.testing.assert_array_equal(assign_to_centers(x, centers), [0, 1])
+
+    def test_single_point(self):
+        centers = np.array([[0.0], [5.0]])
+        assert assign_to_centers(np.array([[4.0]]), centers)[0] == 1

@@ -1,0 +1,154 @@
+"""Tests for clustering quality indices and K selection."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    KMeans,
+    StandardScaler,
+    calinski_harabasz_index,
+    cluster_sizes,
+    davies_bouldin_index,
+    elbow_k,
+    inertia,
+    select_k,
+    silhouette_score,
+)
+
+
+def blobs(rng, k=3, sep=8.0, n_per=25, dim=2, spread=0.5):
+    centers = rng.normal(0, sep, size=(k, dim))
+    x = np.concatenate(
+        [rng.normal(c, spread, size=(n_per, dim)) for c in centers]
+    )
+    labels = np.repeat(np.arange(k), n_per)
+    return x, labels
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestSilhouette:
+    def test_good_clustering_high_score(self, rng):
+        x, labels = blobs(rng, sep=10.0, spread=0.3)
+        assert silhouette_score(x, labels) > 0.7
+
+    def test_random_labels_low_score(self, rng):
+        x, labels = blobs(rng)
+        shuffled = rng.permutation(labels)
+        assert silhouette_score(x, shuffled) < 0.1
+
+    def test_bounds(self, rng):
+        x, labels = blobs(rng)
+        assert -1.0 <= silhouette_score(x, labels) <= 1.0
+
+    def test_single_cluster_raises(self, rng):
+        x, _ = blobs(rng)
+        with pytest.raises(ValueError, match="at least 2"):
+            silhouette_score(x, np.zeros(x.shape[0], dtype=int))
+
+
+class TestDaviesBouldin:
+    def test_tight_clusters_lower(self, rng):
+        x_tight, labels = blobs(rng, spread=0.1)
+        x_loose, _ = blobs(rng, spread=2.0)
+        assert davies_bouldin_index(x_tight, labels) < davies_bouldin_index(
+            x_loose, labels
+        )
+
+    def test_positive(self, rng):
+        x, labels = blobs(rng)
+        assert davies_bouldin_index(x, labels) > 0
+
+
+class TestCalinskiHarabasz:
+    def test_true_labels_beat_random(self, rng):
+        x, labels = blobs(rng)
+        shuffled = rng.permutation(labels)
+        assert calinski_harabasz_index(x, labels) > calinski_harabasz_index(
+            x, shuffled
+        )
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            calinski_harabasz_index(rng.normal(size=(10, 2)), np.zeros(5))
+
+
+class TestInertiaAndSizes:
+    def test_inertia_zero_for_points_at_centroids(self):
+        x = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        assert inertia(x, labels) == pytest.approx(0.0)
+
+    def test_inertia_matches_kmeans(self, rng):
+        x, _ = blobs(rng)
+        result = KMeans(3, seed=0).fit(x)
+        assert inertia(x, result.labels) == pytest.approx(result.inertia, rel=1e-6)
+
+    def test_cluster_sizes_sorted(self):
+        sizes = cluster_sizes(np.array([0, 0, 0, 1, 2, 2]))
+        np.testing.assert_array_equal(sizes, [3, 2, 1])
+
+
+class TestStandardScaler:
+    def test_transform_statistics(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-6)
+
+    def test_constant_column_safe(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestSelectK:
+    def test_recovers_true_k_silhouette(self, rng):
+        x, _ = blobs(rng, k=4, sep=12.0, spread=0.4)
+        report = select_k(x, k_min=2, k_max=7, method="silhouette")
+        assert report.selected_k == 4
+
+    def test_recovers_true_k_davies_bouldin(self, rng):
+        # Fixed equilateral-ish centers so no two blobs merge by chance.
+        centers = np.array([[0.0, 0.0], [15.0, 0.0], [7.5, 13.0]])
+        x = np.concatenate(
+            [rng.normal(c, 0.4, size=(25, 2)) for c in centers]
+        )
+        report = select_k(x, k_min=2, k_max=6, method="davies_bouldin")
+        assert report.selected_k == 3
+
+    def test_elbow_method_runs(self, rng):
+        x, _ = blobs(rng, k=4, sep=12.0, spread=0.3)
+        report = select_k(x, k_min=2, k_max=7, method="elbow")
+        assert report.selected_k in report.candidates
+
+    def test_report_is_complete(self, rng):
+        x, _ = blobs(rng, k=3)
+        report = select_k(x, k_min=2, k_max=5)
+        assert report.candidates == [2, 3, 4, 5]
+        for k in report.candidates:
+            assert k in report.inertias
+            assert k in report.silhouettes
+
+    def test_unknown_method_raises(self, rng):
+        x, _ = blobs(rng)
+        with pytest.raises(ValueError, match="unknown selection"):
+            select_k(x, method="psychic")
+
+    def test_invalid_k_min(self, rng):
+        x, _ = blobs(rng)
+        with pytest.raises(ValueError, match="k_min"):
+            select_k(x, k_min=1)
+
+    def test_elbow_k_helper(self):
+        candidates = [2, 3, 4, 5, 6]
+        # Sharp knee at 4.
+        inertias = {2: 100.0, 3: 60.0, 4: 20.0, 5: 18.0, 6: 16.0}
+        assert elbow_k(candidates, inertias) == 4

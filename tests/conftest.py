@@ -1,0 +1,27 @@
+"""Shared fixtures: session-scoped synthetic corpora (expensive to build)."""
+
+import pytest
+
+from repro.datasets import SyntheticWEMAC, WEMACConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """8 subjects x 4 trials; enough for pipeline mechanics tests."""
+    return SyntheticWEMAC(WEMACConfig.tiny(seed=0)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """16 subjects x 8 trials; enough structure for clustering tests."""
+    return SyntheticWEMAC(WEMACConfig.small(seed=0)).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_maps_by_subject(tiny_dataset):
+    return {s.subject_id: list(s.maps) for s in tiny_dataset.subjects}
+
+
+@pytest.fixture(scope="session")
+def small_maps_by_subject(small_dataset):
+    return {s.subject_id: list(s.maps) for s in small_dataset.subjects}

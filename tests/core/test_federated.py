@@ -1,0 +1,119 @@
+"""Tests for federated per-cluster training."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainingConfig, train_on_maps
+from repro.core.federated import (
+    FederatedConfig,
+    aggregate_normalizer,
+    client_statistics,
+    federated_train_cluster,
+)
+from repro.signals import FeatureMap, FeatureNormalizer
+
+
+def make_client_maps(rng, n_clients=4, maps_per_client=10, f=16, w=4, shift=2.5):
+    clients = {}
+    for client in range(n_clients):
+        maps = []
+        for i in range(maps_per_client):
+            label = i % 2
+            values = rng.normal(loc=0.2 * client, size=(f, w))
+            if label == 1:
+                values[: f // 2] += shift
+            maps.append(FeatureMap(values, label=label, subject_id=client))
+        clients[client] = maps
+    return clients
+
+
+SMALL_MODEL = ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(111)
+
+
+class TestNormalizerAggregation:
+    def test_pooled_equals_centralized(self, rng):
+        """Pooled moments must match fitting on the union of all data."""
+        clients = make_client_maps(rng)
+        all_maps = [m for maps in clients.values() for m in maps]
+        centralized = FeatureNormalizer().fit(all_maps)
+        pooled = aggregate_normalizer(
+            [client_statistics(maps) for maps in clients.values()]
+        )
+        np.testing.assert_allclose(pooled.mean_, centralized.mean_, atol=1e-10)
+        np.testing.assert_allclose(pooled.std_, centralized.std_, atol=1e-8)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_normalizer([])
+
+    def test_single_client_is_its_own_stats(self, rng):
+        clients = make_client_maps(rng, n_clients=1)
+        pooled = aggregate_normalizer([client_statistics(clients[0])])
+        direct = FeatureNormalizer().fit(clients[0])
+        np.testing.assert_allclose(pooled.mean_, direct.mean_, atol=1e-10)
+
+
+class TestFederatedTraining:
+    def test_learns_the_task(self, rng):
+        clients = make_client_maps(rng)
+        model, history = federated_train_cluster(
+            clients,
+            SMALL_MODEL,
+            FederatedConfig(rounds=6, local_epochs=2, learning_rate=3e-3, seed=0),
+        )
+        all_maps = [m for maps in clients.values() for m in maps]
+        assert model.evaluate(all_maps)["accuracy"] > 0.8
+
+    def test_loss_decreases_over_rounds(self, rng):
+        clients = make_client_maps(rng)
+        _, history = federated_train_cluster(
+            clients,
+            SMALL_MODEL,
+            FederatedConfig(rounds=6, local_epochs=2, learning_rate=3e-3, seed=0),
+        )
+        assert history.round_losses[-1] < history.round_losses[0]
+
+    def test_client_sampling(self, rng):
+        clients = make_client_maps(rng, n_clients=4)
+        _, history = federated_train_cluster(
+            clients,
+            SMALL_MODEL,
+            FederatedConfig(rounds=2, local_epochs=1, client_fraction=0.5, seed=0),
+        )
+        assert history.clients_per_round == [2, 2]
+
+    def test_close_to_centralized(self, rng):
+        """FedAvg should approach centralized training on IID-ish data."""
+        clients = make_client_maps(rng)
+        all_maps = [m for maps in clients.values() for m in maps]
+        central = train_on_maps(
+            all_maps,
+            SMALL_MODEL,
+            TrainingConfig(epochs=12, batch_size=8),
+            seed=0,
+        )
+        federated, _ = federated_train_cluster(
+            clients,
+            SMALL_MODEL,
+            FederatedConfig(rounds=6, local_epochs=2, learning_rate=3e-3, seed=0),
+        )
+        central_acc = central.evaluate(all_maps)["accuracy"]
+        fed_acc = federated.evaluate(all_maps)["accuracy"]
+        assert fed_acc >= central_acc - 0.2
+
+    def test_empty_clients_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            federated_train_cluster({}, SMALL_MODEL)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="rounds"):
+            FederatedConfig(rounds=0)
+        with pytest.raises(ValueError, match="client_fraction"):
+            FederatedConfig(client_fraction=0.0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            FederatedConfig(learning_rate=-1.0)

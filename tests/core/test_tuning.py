@@ -1,0 +1,122 @@
+"""Tests for subject-aware grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainingConfig
+from repro.core.tuning import (
+    GridSearchResult,
+    TrialResult,
+    grid_search,
+    subject_holdout_folds,
+)
+from repro.signals import FeatureMap
+
+
+def make_population(rng, n_subjects=3, maps_each=8, f=12, w=4, shift=2.5):
+    population = {}
+    for sid in range(n_subjects):
+        maps = []
+        for i in range(maps_each):
+            label = i % 2
+            values = rng.normal(loc=0.1 * sid, size=(f, w))
+            if label == 1:
+                values[: f // 2] += shift
+            maps.append(FeatureMap(values, label=label, subject_id=sid))
+        population[sid] = maps
+    return population
+
+
+FAST_TRAIN = TrainingConfig(epochs=6, batch_size=8, early_stopping_patience=2)
+SMALL_MODEL = ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(141)
+
+
+class TestFolds:
+    def test_each_fold_holds_out_one_subject(self, rng):
+        population = make_population(rng)
+        folds = subject_holdout_folds(population, 3)
+        assert len(folds) == 3
+        for train, test in folds:
+            test_sids = {m.subject_id for m in test}
+            train_sids = {m.subject_id for m in train}
+            assert len(test_sids) == 1
+            assert test_sids.isdisjoint(train_sids)
+
+    def test_round_robin_cycles(self, rng):
+        population = make_population(rng, n_subjects=2)
+        folds = subject_holdout_folds(population, 4)
+        held = [next(iter({m.subject_id for m in test})) for _, test in folds]
+        assert held == [0, 1, 0, 1]
+
+    def test_one_subject_raises(self, rng):
+        population = make_population(rng, n_subjects=1)
+        with pytest.raises(ValueError, match="at least 2"):
+            subject_holdout_folds(population, 2)
+
+
+class TestGridSearch:
+    def test_evaluates_all_combinations(self, rng):
+        population = make_population(rng)
+        result = grid_search(
+            population,
+            {"lstm_units": [4, 8], "learning_rate": [1e-3]},
+            base_model=SMALL_MODEL,
+            base_training=FAST_TRAIN,
+            n_folds=2,
+        )
+        assert len(result.trials) == 2
+        assert all(len(t.fold_accuracies) == 2 for t in result.trials)
+
+    def test_best_is_max_mean(self, rng):
+        result = GridSearchResult(
+            trials=[
+                TrialResult({"a": 1}, [0.5, 0.6]),
+                TrialResult({"a": 2}, [0.9, 0.8]),
+            ]
+        )
+        assert result.best.params == {"a": 2}
+
+    def test_routes_model_and_training_fields(self, rng):
+        population = make_population(rng)
+        result = grid_search(
+            population,
+            {"dropout": [0.0], "epochs": [3]},
+            base_model=SMALL_MODEL,
+            base_training=FAST_TRAIN,
+            n_folds=2,
+        )
+        assert result.trials[0].params == {"dropout": 0.0, "epochs": 3}
+
+    def test_unknown_field_raises(self, rng):
+        population = make_population(rng)
+        with pytest.raises(ValueError, match="unknown hyper-parameter"):
+            grid_search(
+                population,
+                {"warp_factor": [9]},
+                base_model=SMALL_MODEL,
+                base_training=FAST_TRAIN,
+            )
+
+    def test_empty_grid_raises(self, rng):
+        with pytest.raises(ValueError, match="grid is empty"):
+            grid_search(make_population(rng), {})
+
+    def test_render_ranking(self, rng):
+        result = GridSearchResult(
+            trials=[
+                TrialResult({"a": 1}, [0.5]),
+                TrialResult({"a": 2}, [0.9]),
+            ]
+        )
+        text = result.render()
+        lines = text.splitlines()
+        assert "90.00%" in lines[1]  # best first
+
+    def test_best_on_empty_raises(self):
+        with pytest.raises(ValueError, match="no trials"):
+            GridSearchResult().best

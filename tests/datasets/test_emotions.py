@@ -1,0 +1,194 @@
+"""Tests for the multi-emotion (valence-arousal) extension."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import FEAR, NON_FEAR, sample_subject
+from repro.datasets.emotions import (
+    EMOTION_INDEX,
+    EMOTION_NAMES,
+    EMOTIONS,
+    EmotionSimulator,
+    EmotionSpec,
+    EmotionTrial,
+    binary_schedule_from_emotions,
+    emotion_schedule,
+    get_emotion,
+    response_intensity,
+    to_binary_fear,
+    valence_sign,
+)
+from repro.signals import detect_pulse_peaks, ibi_from_peaks
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(81)
+
+
+class TestEmotionSpecs:
+    def test_ten_emotions(self):
+        assert len(EMOTIONS) == 10
+        assert len(set(EMOTION_NAMES)) == 10
+
+    def test_fear_is_high_arousal_negative_valence(self):
+        fear = get_emotion("fear")
+        assert fear.arousal > 0.7
+        assert fear.valence < -0.5
+
+    def test_coordinates_bounded(self):
+        for emotion in EMOTIONS:
+            assert -1.0 <= emotion.valence <= 1.0
+            assert -1.0 <= emotion.arousal <= 1.0
+
+    def test_invalid_coordinates_raise(self):
+        with pytest.raises(ValueError, match="valence"):
+            EmotionSpec("weird", valence=2.0, arousal=0.0)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ValueError, match="unknown emotion"):
+            get_emotion("ennui")
+
+    def test_index_consistent(self):
+        for name, idx in EMOTION_INDEX.items():
+            assert EMOTIONS[idx].name == name
+
+
+class TestBinaryMapping:
+    def test_fear_maps_to_one(self):
+        assert to_binary_fear("fear") == FEAR
+
+    def test_everything_else_maps_to_zero(self):
+        for name in EMOTION_NAMES:
+            if name != "fear":
+                assert to_binary_fear(name) == NON_FEAR
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError):
+            to_binary_fear("boredom")
+
+
+class TestIntensityAndValence:
+    def test_high_arousal_higher_intensity(self, rng):
+        fear_vals = [response_intensity(get_emotion("fear"), rng) for _ in range(50)]
+        calm_vals = [response_intensity(get_emotion("calm"), rng) for _ in range(50)]
+        assert np.mean(fear_vals) > np.mean(calm_vals) + 0.3
+
+    def test_intensity_clamped(self, rng):
+        values = [response_intensity(get_emotion("fear"), rng) for _ in range(200)]
+        assert all(0.0 <= v <= 1.3 for v in values)
+
+    def test_valence_signs(self):
+        assert valence_sign(get_emotion("fear")) == -1.0
+        assert valence_sign(get_emotion("joy")) == 1.0
+        assert valence_sign(EmotionSpec("meh", 0.0, 0.5)) == 0.0
+
+
+class TestEmotionSchedule:
+    def test_fear_fraction_respected(self, rng):
+        trials = emotion_schedule(20, 30.0, rng, fear_fraction=0.3)
+        n_fear = sum(t.emotion == "fear" for t in trials)
+        assert n_fear == 6
+
+    def test_diverse_other_emotions(self, rng):
+        trials = emotion_schedule(20, 30.0, rng)
+        others = {t.emotion for t in trials if t.emotion != "fear"}
+        assert len(others) >= 5
+
+    def test_binary_collapse(self, rng):
+        trials = emotion_schedule(10, 30.0, rng, fear_fraction=0.3)
+        schedule = binary_schedule_from_emotions(trials)
+        assert schedule.num_trials == 10
+        assert schedule.labels().sum() == sum(
+            t.emotion == "fear" for t in trials
+        )
+
+    def test_trial_validation(self):
+        with pytest.raises(ValueError):
+            EmotionTrial("unknown", 30.0)
+        with pytest.raises(ValueError, match="duration"):
+            EmotionTrial("fear", -1.0)
+
+    def test_invalid_schedule_params(self, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            emotion_schedule(1, 30.0, rng)
+        with pytest.raises(ValueError, match="fear_fraction"):
+            emotion_schedule(10, 30.0, rng, fear_fraction=0.0)
+
+
+class TestEmotionSimulator:
+    def _mean_hr(self, raw, fs=64.0):
+        peaks = detect_pulse_peaks(raw["bvp"], fs)
+        ibis = ibi_from_peaks(peaks, fs)
+        return 60.0 / ibis.mean()
+
+    def test_traces_have_all_channels(self, rng):
+        profile = sample_subject(0, 0, rng)
+        sim = EmotionSimulator()
+        raw = sim.simulate_trial(profile, EmotionTrial("joy", 30.0), rng)
+        assert set(raw) == {"bvp", "gsr", "skt"}
+
+    def test_fear_raises_hr_more_than_calm(self, rng):
+        profile = sample_subject(0, 0, rng, jitter=0.02)  # cardiac responder
+        sim = EmotionSimulator()
+        hr = {}
+        for name in ("fear", "calm"):
+            values = [
+                self._mean_hr(
+                    sim.simulate_trial(profile, EmotionTrial(name, 60.0), rng)
+                )
+                for _ in range(4)
+            ]
+            hr[name] = np.mean(values)
+        assert hr["fear"] > hr["calm"] + 5.0
+
+    def test_joy_attenuates_cardiac_response_vs_fear(self, rng):
+        profile = sample_subject(0, 0, rng, jitter=0.02)
+        sim = EmotionSimulator()
+        hr = {}
+        for name in ("fear", "joy"):
+            values = [
+                self._mean_hr(
+                    sim.simulate_trial(profile, EmotionTrial(name, 60.0), rng)
+                )
+                for _ in range(5)
+            ]
+            hr[name] = np.mean(values)
+        assert hr["joy"] < hr["fear"]
+
+    def test_schedule_simulation(self, rng):
+        profile = sample_subject(0, 1, rng)
+        sim = EmotionSimulator()
+        trials = emotion_schedule(4, 20.0, rng)
+        raws = sim.simulate_schedule(profile, trials, rng)
+        assert len(raws) == 4
+
+
+class TestMultiClassTraining:
+    def test_four_emotion_classifier_trains(self, rng):
+        """End-to-end: multi-class emotion recognition on one subject."""
+        from repro.core import ModelConfig, TrainingConfig, train_on_maps
+        from repro.signals import FeatureExtractor, SensorRates
+        from repro.signals.feature_map import build_feature_map
+
+        profile = sample_subject(0, 1, rng, jitter=0.02)
+        sim = EmotionSimulator()
+        fe = FeatureExtractor(
+            rates=SensorRates(bvp=64.0, gsr=4.0, skt=4.0), window_seconds=8.0
+        )
+        wanted = ("fear", "joy", "calm", "sadness")
+        maps = []
+        for name in wanted * 4:
+            raw = sim.simulate_trial(profile, EmotionTrial(name, 32.0), rng)
+            vectors = fe.extract_recording(raw["bvp"], raw["gsr"], raw["skt"])
+            maps.append(
+                build_feature_map(vectors, label=wanted.index(name), subject_id=0)
+            )
+        model = train_on_maps(
+            maps,
+            ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0, num_classes=4),
+            TrainingConfig(epochs=20, batch_size=8),
+            seed=0,
+        )
+        # Far better than the 25 % chance level on training data.
+        assert model.evaluate(maps)["accuracy"] > 0.5

@@ -1,0 +1,45 @@
+"""Tests for corpus save/load."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_dataset, save_dataset
+
+
+class TestDatasetRoundtrip:
+    @pytest.fixture()
+    def roundtripped(self, tiny_dataset, tmp_path):
+        save_dataset(tiny_dataset, tmp_path / "corpus.npz")
+        return load_dataset(tmp_path / "corpus.npz")
+
+    def test_config_preserved(self, tiny_dataset, roundtripped):
+        assert roundtripped.config == tiny_dataset.config
+
+    def test_subject_count_and_ids(self, tiny_dataset, roundtripped):
+        assert roundtripped.subject_ids == tiny_dataset.subject_ids
+
+    def test_maps_identical(self, tiny_dataset, roundtripped):
+        for orig, loaded in zip(tiny_dataset.subjects, roundtripped.subjects):
+            assert len(orig.maps) == len(loaded.maps)
+            for m1, m2 in zip(orig.maps, loaded.maps):
+                np.testing.assert_array_equal(m1.values, m2.values)
+                assert m1.label == m2.label
+                assert m1.subject_id == m2.subject_id
+
+    def test_profiles_preserved(self, tiny_dataset, roundtripped):
+        for orig, loaded in zip(tiny_dataset.subjects, roundtripped.subjects):
+            assert orig.profile.archetype_id == loaded.profile.archetype_id
+            assert orig.profile.params.rest_hr_bpm == pytest.approx(
+                loaded.profile.params.rest_hr_bpm
+            )
+
+    def test_schedule_labels_preserved(self, tiny_dataset, roundtripped):
+        for orig, loaded in zip(tiny_dataset.subjects, roundtripped.subjects):
+            np.testing.assert_array_equal(orig.labels, loaded.labels)
+
+    def test_suffix_added(self, tiny_dataset, tmp_path):
+        path = save_dataset(tiny_dataset, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_summary_matches(self, tiny_dataset, roundtripped):
+        assert roundtripped.summary() == tiny_dataset.summary()

@@ -1,0 +1,156 @@
+"""Tests for corpus generation, LOSO folds, and fraction splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticWEMAC,
+    WEMACConfig,
+    loso_folds,
+    random_subject_subset,
+    split_maps_by_fraction,
+)
+
+
+class TestWEMACConfig:
+    def test_defaults_match_paper_scale(self):
+        cfg = WEMACConfig()
+        assert cfg.num_subjects == 44
+        assert cfg.num_subjects * cfg.trials_per_subject == 792  # ~800 maps
+
+    def test_trial_seconds(self):
+        cfg = WEMACConfig(windows_per_map=8, window_seconds=10.0)
+        assert cfg.trial_seconds == 80.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least"):
+            WEMACConfig(num_subjects=2)
+        with pytest.raises(ValueError, match="trials"):
+            WEMACConfig(trials_per_subject=1)
+        with pytest.raises(ValueError, match="archetype_weights"):
+            WEMACConfig(archetype_weights=(1.0, 1.0))
+
+
+class TestGeneratedCorpus:
+    def test_summary_counts(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        cfg = tiny_dataset.config
+        assert summary["num_subjects"] == cfg.num_subjects
+        assert summary["num_maps"] == cfg.num_subjects * cfg.trials_per_subject
+        assert summary["num_features"] == 123
+        assert summary["windows_per_map"] == cfg.windows_per_map
+
+    def test_balanced_labels(self, tiny_dataset):
+        assert tiny_dataset.summary()["fear_fraction"] == pytest.approx(0.5)
+
+    def test_every_archetype_present(self, tiny_dataset):
+        archetypes = set(tiny_dataset.archetype_assignment().values())
+        assert archetypes == {0, 1, 2, 3}
+
+    def test_maps_are_finite(self, tiny_dataset):
+        for fmap in tiny_dataset.all_maps():
+            assert np.isfinite(fmap.values).all()
+
+    def test_subject_lookup(self, tiny_dataset):
+        record = tiny_dataset.subject(0)
+        assert record.subject_id == 0
+        with pytest.raises(KeyError):
+            tiny_dataset.subject(999)
+
+    def test_maps_for_subset(self, tiny_dataset):
+        maps = tiny_dataset.maps_for([0, 1])
+        expected = len(tiny_dataset.subject(0).maps) + len(
+            tiny_dataset.subject(1).maps
+        )
+        assert len(maps) == expected
+
+    def test_determinism(self):
+        cfg = WEMACConfig.tiny(seed=5)
+        a = SyntheticWEMAC(cfg).generate()
+        b = SyntheticWEMAC(cfg).generate()
+        np.testing.assert_array_equal(
+            a.subjects[0].maps[0].values, b.subjects[0].maps[0].values
+        )
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWEMAC(WEMACConfig.tiny(seed=1)).generate()
+        b = SyntheticWEMAC(WEMACConfig.tiny(seed=2)).generate()
+        assert not np.array_equal(
+            a.subjects[0].maps[0].values, b.subjects[0].maps[0].values
+        )
+
+    def test_labels_match_schedule(self, tiny_dataset):
+        for record in tiny_dataset.subjects:
+            np.testing.assert_array_equal(record.labels, record.schedule.labels())
+
+
+class TestLOSO:
+    def test_one_fold_per_subject(self, tiny_dataset):
+        folds = list(loso_folds(tiny_dataset))
+        assert len(folds) == tiny_dataset.num_subjects
+        held_out = {f.held_out_id for f in folds}
+        assert held_out == set(tiny_dataset.subject_ids)
+
+    def test_no_leakage(self, tiny_dataset):
+        for fold in loso_folds(tiny_dataset):
+            train_ids = {s.subject_id for s in fold.train_subjects}
+            assert fold.held_out_id not in train_ids
+            assert len(train_ids) == tiny_dataset.num_subjects - 1
+            for m in fold.train_maps:
+                assert m.subject_id != fold.held_out_id
+
+    def test_fold_map_counts(self, tiny_dataset):
+        cfg = tiny_dataset.config
+        fold = next(loso_folds(tiny_dataset))
+        assert len(fold.test_maps) == cfg.trials_per_subject
+        assert len(fold.train_maps) == (
+            (cfg.num_subjects - 1) * cfg.trials_per_subject
+        )
+
+
+class TestSplits:
+    def _maps(self, tiny_dataset):
+        return tiny_dataset.subjects[0].maps
+
+    def test_fraction_split_sizes(self, tiny_dataset):
+        maps = self._maps(tiny_dataset)
+        rng = np.random.default_rng(0)
+        selected, rest = split_maps_by_fraction(maps, 0.25, rng)
+        assert len(selected) + len(rest) == len(maps)
+        assert 1 <= len(selected) < len(maps)
+
+    def test_stratified_keeps_both_classes(self, tiny_dataset):
+        maps = self._maps(tiny_dataset)
+        rng = np.random.default_rng(0)
+        selected, _ = split_maps_by_fraction(maps, 0.5, rng, stratified=True)
+        labels = {m.label for m in selected}
+        assert labels == {0, 1}
+
+    def test_remainder_never_empty(self, tiny_dataset):
+        maps = self._maps(tiny_dataset)
+        rng = np.random.default_rng(0)
+        _, rest = split_maps_by_fraction(maps, 0.9, rng)
+        assert len(rest) >= 1
+
+    def test_invalid_fraction(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="fraction"):
+            split_maps_by_fraction(self._maps(tiny_dataset), 1.5, rng)
+
+    def test_too_few_maps_raises(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least 2"):
+            split_maps_by_fraction(self._maps(tiny_dataset)[:1], 0.5, rng)
+
+    def test_random_subject_subset(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        subset = random_subject_subset(tiny_dataset, 3, rng)
+        assert len(subset) == 3
+        assert len({s.subject_id for s in subset}) == 3
+
+    def test_random_subject_subset_bounds(self, tiny_dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="count"):
+            random_subject_subset(tiny_dataset, 0, rng)
+        with pytest.raises(ValueError, match="count"):
+            random_subject_subset(tiny_dataset, 999, rng)

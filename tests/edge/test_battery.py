@@ -1,0 +1,92 @@
+"""Tests for the battery-life planner."""
+
+import pytest
+
+from repro.core import build_cnn_lstm
+from repro.edge import ALL_DEVICES, CORAL_TPU, PI_NCS2, profile_model
+from repro.edge.battery import (
+    DutyCycle,
+    EnergyBudget,
+    battery_life_hours,
+    compare_devices,
+    daily_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    model = build_cnn_lstm((1, 123, 8))
+    return profile_model(model, (1, 123, 8))
+
+
+class TestDutyCycle:
+    def test_defaults_valid(self):
+        duty = DutyCycle()
+        assert duty.inferences_per_hour == 180.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rates"):
+            DutyCycle(inferences_per_hour=-1)
+        with pytest.raises(ValueError, match="session size"):
+            DutyCycle(finetune_examples=0)
+
+
+class TestEnergyBudget:
+    def test_breakdown_sums_to_one(self, profile):
+        budget = daily_energy(CORAL_TPU, profile, DutyCycle())
+        fractions = budget.breakdown()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_idle_dominates_light_duty(self, profile):
+        """At one inference per minute, idle power rules the budget."""
+        duty = DutyCycle(inferences_per_hour=60, finetune_sessions_per_day=0)
+        budget = daily_energy(CORAL_TPU, profile, duty)
+        assert budget.breakdown()["idle"] > 0.9
+
+    def test_heavier_duty_more_energy(self, profile):
+        light = daily_energy(CORAL_TPU, profile, DutyCycle(inferences_per_hour=10))
+        heavy = daily_energy(
+            CORAL_TPU, profile, DutyCycle(inferences_per_hour=3000)
+        )
+        assert heavy.total_wh > light.total_wh
+
+    def test_finetuning_cost_counted(self, profile):
+        none = daily_energy(
+            CORAL_TPU, profile, DutyCycle(finetune_sessions_per_day=0)
+        )
+        daily = daily_energy(
+            CORAL_TPU, profile, DutyCycle(finetune_sessions_per_day=4)
+        )
+        assert daily.finetune_wh > none.finetune_wh == 0.0
+
+
+class TestBatteryLife:
+    def test_tpu_outlasts_ncs2(self, profile):
+        """Lower power draw -> longer battery life (Table II implication)."""
+        duty = DutyCycle()
+        tpu = battery_life_hours(CORAL_TPU, profile, duty, battery_wh=10.0)
+        ncs2 = battery_life_hours(PI_NCS2, profile, duty, battery_wh=10.0)
+        assert tpu > ncs2
+
+    def test_bigger_battery_lasts_longer(self, profile):
+        duty = DutyCycle()
+        small = battery_life_hours(CORAL_TPU, profile, duty, 5.0)
+        big = battery_life_hours(CORAL_TPU, profile, duty, 20.0)
+        assert big == pytest.approx(4 * small)
+
+    def test_invalid_battery(self, profile):
+        with pytest.raises(ValueError, match="battery_wh"):
+            battery_life_hours(CORAL_TPU, profile, DutyCycle(), 0.0)
+
+    def test_realistic_magnitude(self, profile):
+        """A 10 Wh pack powers the TPU board for several hours (idle
+        1.28 W -> < 8 h ceiling), not minutes or weeks."""
+        hours = battery_life_hours(CORAL_TPU, profile, DutyCycle(), 10.0)
+        assert 2.0 < hours < 10.0
+
+    def test_compare_devices_covers_all(self, profile):
+        table = compare_devices(ALL_DEVICES, profile, DutyCycle())
+        assert set(table) == set(ALL_DEVICES)
+        for row in table.values():
+            assert row["daily_wh"] > 0
+            assert row["battery_hours"] > 0

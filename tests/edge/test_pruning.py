@@ -1,0 +1,107 @@
+"""Tests for magnitude pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainingConfig, train_on_maps
+from repro.edge.pruning import (
+    measure_sparsity,
+    prune_model,
+    prune_trained,
+    sparsity_sweep,
+)
+from repro.signals import FeatureMap
+
+
+def make_maps(rng, n=32, f=16, w=4, shift=2.5):
+    maps = []
+    for i in range(n):
+        label = i % 2
+        values = rng.normal(size=(f, w))
+        if label == 1:
+            values[: f // 2] += shift
+        maps.append(FeatureMap(values, label=label, subject_id=0))
+    return maps
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(131)
+    return train_on_maps(
+        make_maps(rng),
+        ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+        TrainingConfig(epochs=12, batch_size=8),
+        seed=0,
+    ), make_maps(np.random.default_rng(132), n=16)
+
+
+class TestPruneModel:
+    def test_target_sparsity_reached(self, trained):
+        model, _ = trained
+        pruned = prune_model(model.model, 0.5)
+        report = measure_sparsity(pruned)
+        assert report.global_sparsity == pytest.approx(0.5, abs=0.05)
+
+    def test_zero_sparsity_identity(self, trained):
+        model, _ = trained
+        pruned = prune_model(model.model, 0.0)
+        for src, dst in zip(model.model.layers, pruned.layers):
+            for key in src.params:
+                np.testing.assert_array_equal(src.params[key], dst.params[key])
+
+    def test_original_untouched(self, trained):
+        model, _ = trained
+        before = model.model.get_weights()
+        prune_model(model.model, 0.9)
+        after = model.model.get_weights()
+        for b, a in zip(before, after):
+            for key in b:
+                np.testing.assert_array_equal(b[key], a[key])
+
+    def test_biases_never_pruned(self, trained):
+        model, _ = trained
+        pruned = prune_model(model.model, 0.9)
+        for src, dst in zip(model.model.layers, pruned.layers):
+            if "b" in src.params:
+                np.testing.assert_array_equal(src.params["b"], dst.params["b"])
+
+    def test_smallest_weights_go_first(self, trained):
+        model, _ = trained
+        pruned = prune_model(model.model, 0.5)
+        # Surviving weights must be (weakly) larger than pruned ones.
+        for src, dst in zip(model.model.layers, pruned.layers):
+            for key in ("W", "U"):
+                if key not in src.params:
+                    continue
+                zeroed = src.params[key][dst.params[key] == 0.0]
+                kept = src.params[key][dst.params[key] != 0.0]
+                if zeroed.size and kept.size:
+                    assert np.abs(zeroed).max() <= np.abs(kept).min() + 1e-12
+
+    def test_invalid_sparsity(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError, match="sparsity"):
+            prune_model(model.model, 1.0)
+
+
+class TestSparsityAccuracy:
+    def test_mild_pruning_keeps_accuracy(self, trained):
+        model, eval_maps = trained
+        base_acc = model.evaluate(eval_maps)["accuracy"]
+        pruned = prune_trained(model, 0.3)
+        pruned_acc = pruned.evaluate(eval_maps)["accuracy"]
+        assert pruned_acc >= base_acc - 0.15
+
+    def test_sweep_monotone_compression(self, trained):
+        model, eval_maps = trained
+        rows = sparsity_sweep(model, eval_maps, sparsities=(0.0, 0.5, 0.9))
+        actual = [r["actual_sparsity"] for r in rows]
+        assert actual[0] < actual[1] < actual[2]
+
+    def test_report_compression_accounting(self, trained):
+        model, _ = trained
+        pruned = prune_model(model.model, 0.75)
+        report = measure_sparsity(pruned)
+        dense = report.params_total * 4
+        sparse = report.compressed_bytes(4)
+        assert sparse == pytest.approx(0.25 * dense, rel=0.1)

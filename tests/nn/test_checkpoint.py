@@ -1,0 +1,95 @@
+"""Tests for model checkpointing (save/load roundtrips)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.checkpoint import model_from_config, model_to_config
+
+
+def make_cnn_lstm(seed=0):
+    return nn.Sequential(
+        [
+            nn.Conv2D(4, 3, padding="same", name="c1"),
+            nn.ReLU(name="r1"),
+            nn.MaxPool2D(2, name="p1"),
+            nn.Conv2D(8, 3, padding="same", name="c2"),
+            nn.ReLU(name="r2"),
+            nn.MaxPool2D(2, name="p2"),
+            nn.ToSequence(name="seq"),
+            nn.LSTM(16, name="lstm"),
+            nn.Dense(2, name="head"),
+        ],
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestConfigRoundtrip:
+    def test_architecture_preserved(self):
+        model = make_cnn_lstm()
+        rebuilt = model_from_config(model_to_config(model))
+        assert [type(l).__name__ for l in rebuilt.layers] == [
+            type(l).__name__ for l in model.layers
+        ]
+        assert rebuilt.layers[0].filters == 4
+        assert rebuilt.layers[7].units == 16
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(ValueError, match="unknown layer class"):
+            model_from_config([{"class": "MadeUp", "config": {}}])
+
+
+class TestSaveLoad:
+    def test_predictions_identical_after_roundtrip(self, rng, tmp_path):
+        model = make_cnn_lstm().compile("softmax_cross_entropy", nn.Adam(0.01))
+        x = rng.normal(size=(6, 1, 12, 8))
+        y = rng.integers(0, 2, 6)
+        model.fit(x, y, epochs=3, batch_size=4)
+        before = model.predict(x)
+
+        path = nn.save_model(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        loaded = nn.load_model(path)
+        np.testing.assert_allclose(loaded.predict(x), before, atol=1e-12)
+
+    def test_loaded_model_can_finetune(self, rng, tmp_path):
+        model = make_cnn_lstm().compile("softmax_cross_entropy", nn.Adam(0.01))
+        x = rng.normal(size=(8, 1, 12, 8))
+        y = (x.mean(axis=(1, 2, 3)) > 0).astype(int)
+        model.fit(x, y, epochs=2, batch_size=4)
+        nn.save_model(model, tmp_path / "ckpt.npz")
+
+        loaded = nn.load_model(tmp_path / "ckpt.npz")
+        loaded.compile("softmax_cross_entropy", nn.Adam(0.01))
+        history = loaded.fit(x, y, epochs=3, batch_size=4)
+        assert len(history.epochs) == 3
+
+    def test_batchnorm_running_stats_survive(self, rng, tmp_path):
+        model = nn.Sequential(
+            [nn.Dense(4, name="d"), nn.BatchNorm(name="bn"), nn.Dense(2)], seed=0
+        ).compile(optimizer=nn.Adam(0.05))
+        x = rng.normal(loc=3.0, size=(32, 3))
+        y = rng.integers(0, 2, 32)
+        model.fit(x, y, epochs=5, batch_size=8)
+        before = model.predict(x)
+
+        nn.save_model(model, tmp_path / "bn.npz")
+        loaded = nn.load_model(tmp_path / "bn.npz")
+        np.testing.assert_allclose(loaded.predict(x), before, atol=1e-12)
+
+    def test_suffix_appended(self, tmp_path):
+        model = nn.Sequential([nn.Dense(2)])
+        model.build((3,))
+        path = nn.save_model(model, tmp_path / "noext")
+        assert path.name == "noext.npz"
+
+    def test_nested_directory_created(self, tmp_path):
+        model = nn.Sequential([nn.Dense(2)])
+        model.build((3,))
+        path = nn.save_model(model, tmp_path / "a" / "b" / "ckpt.npz")
+        assert path.exists()

@@ -1,0 +1,86 @@
+"""Tests for the Dense layer, including exact gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import Dense
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestDenseForward:
+    def test_output_shape(self, rng):
+        layer = Dense(7)
+        x = rng.normal(size=(4, 5))
+        layer.ensure_built(x, rng)
+        assert layer.forward(x).shape == (4, 7)
+
+    def test_matches_manual_computation(self, rng):
+        layer = Dense(3)
+        x = rng.normal(size=(2, 4))
+        layer.ensure_built(x, rng)
+        expected = x @ layer.params["W"] + layer.params["b"]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias(self, rng):
+        layer = Dense(3, use_bias=False)
+        x = rng.normal(size=(2, 4))
+        layer.ensure_built(x, rng)
+        assert "b" not in layer.params
+        np.testing.assert_allclose(layer.forward(x), x @ layer.params["W"])
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError, match="units must be positive"):
+            Dense(0)
+
+    def test_rejects_multidim_input(self, rng):
+        layer = Dense(3)
+        with pytest.raises(ValueError, match="flat inputs"):
+            layer.build((4, 5), rng)
+
+
+class TestDenseBackward:
+    def test_gradients_match_numeric(self, rng):
+        layer = Dense(6)
+        x = rng.normal(size=(5, 4))
+        errors = check_layer_gradients(layer, x, rng)
+        for key, err in errors.items():
+            assert err < 1e-6, f"gradient error for {key}: {err}"
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(3)
+        layer.build((4,), rng)
+        with pytest.raises(RuntimeError, match="backward called before forward"):
+            layer.backward(np.zeros((2, 3)))
+
+    def test_bias_grad_is_column_sum(self, rng):
+        layer = Dense(3)
+        x = rng.normal(size=(5, 4))
+        layer.ensure_built(x, rng)
+        layer.forward(x)
+        grad_out = rng.normal(size=(5, 3))
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.grads["b"], grad_out.sum(axis=0))
+
+
+class TestDenseFreezing:
+    def test_frozen_layer_exposes_no_trainable_params(self, rng):
+        layer = Dense(3)
+        layer.build((4,), rng)
+        assert layer.trainable_params
+        layer.freeze()
+        assert layer.trainable_params == {}
+        layer.unfreeze()
+        assert layer.trainable_params
+
+    def test_num_params(self, rng):
+        layer = Dense(3)
+        layer.build((4,), rng)
+        assert layer.num_params == 4 * 3 + 3
+
+    def test_output_shape_helper(self):
+        assert Dense(9).output_shape((4,)) == (9,)

@@ -1,0 +1,108 @@
+"""Tests for LSTM / SimpleRNN: shapes, semantics, exact BPTT gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import LSTM, SimpleRNN
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestLSTMForward:
+    def test_last_state_shape(self, rng):
+        layer = LSTM(8)
+        x = rng.normal(size=(3, 5, 4))
+        layer.ensure_built(x, rng)
+        assert layer.forward(x).shape == (3, 8)
+
+    def test_sequence_output_shape(self, rng):
+        layer = LSTM(8, return_sequences=True)
+        x = rng.normal(size=(3, 5, 4))
+        layer.ensure_built(x, rng)
+        assert layer.forward(x).shape == (3, 5, 8)
+
+    def test_last_of_sequence_equals_last_state(self, rng):
+        x = rng.normal(size=(2, 6, 3))
+        seq = LSTM(4, return_sequences=True, name="a")
+        last = LSTM(4, return_sequences=False, name="b")
+        seq.ensure_built(x, np.random.default_rng(0))
+        last.ensure_built(x, np.random.default_rng(0))
+        np.testing.assert_allclose(seq.forward(x)[:, -1, :], last.forward(x))
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 3), rng)
+        h = 4
+        np.testing.assert_array_equal(layer.params["b"][h : 2 * h], 1.0)
+        np.testing.assert_array_equal(layer.params["b"][:h], 0.0)
+
+    def test_hidden_state_bounded(self, rng):
+        """LSTM hidden state is o * tanh(c), so |h| < 1."""
+        layer = LSTM(6, return_sequences=True)
+        x = 10.0 * rng.normal(size=(2, 20, 3))
+        layer.ensure_built(x, rng)
+        assert np.all(np.abs(layer.forward(x)) < 1.0)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError, match="units must be positive"):
+            LSTM(-1)
+
+    def test_rejects_non_sequence_input(self, rng):
+        with pytest.raises(ValueError, match=r"\(T, F\)"):
+            LSTM(4).build((7,), rng)
+
+    def test_param_count(self, rng):
+        layer = LSTM(8)
+        layer.build((5, 3), rng)
+        # W: 3x32, U: 8x32, b: 32
+        assert layer.num_params == 3 * 32 + 8 * 32 + 32
+
+
+class TestLSTMBackward:
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_gradients_match_numeric(self, rng, return_sequences):
+        layer = LSTM(4, return_sequences=return_sequences)
+        x = rng.normal(size=(2, 4, 3))
+        errors = check_layer_gradients(layer, x, rng)
+        for key, err in errors.items():
+            assert err < 1e-5, f"gradient error for {key}: {err}"
+
+    def test_long_sequence_gradients(self, rng):
+        layer = LSTM(3)
+        x = rng.normal(size=(1, 10, 2))
+        errors = check_layer_gradients(layer, x, rng)
+        for key, err in errors.items():
+            assert err < 1e-5, f"gradient error for {key}: {err}"
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 3), rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 4)))
+
+
+class TestSimpleRNN:
+    def test_output_shapes(self, rng):
+        x = rng.normal(size=(3, 5, 4))
+        layer = SimpleRNN(6)
+        layer.ensure_built(x, rng)
+        assert layer.forward(x).shape == (3, 6)
+        layer_seq = SimpleRNN(6, return_sequences=True)
+        layer_seq.ensure_built(x, rng)
+        assert layer_seq.forward(x).shape == (3, 5, 6)
+
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_gradients_match_numeric(self, rng, return_sequences):
+        layer = SimpleRNN(4, return_sequences=return_sequences)
+        x = rng.normal(size=(2, 5, 3))
+        errors = check_layer_gradients(layer, x, rng)
+        for key, err in errors.items():
+            assert err < 1e-5, f"gradient error for {key}: {err}"
+
+    def test_output_shape_helper(self):
+        assert SimpleRNN(7).output_shape((5, 3)) == (7,)
+        assert SimpleRNN(7, return_sequences=True).output_shape((5, 3)) == (5, 7)

@@ -1,0 +1,91 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.schedules import (
+    Constant,
+    CosineDecay,
+    ExponentialDecay,
+    StepDecay,
+    WarmupWrapper,
+    resolve_schedule,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        s = Constant(0.01)
+        assert s(0) == 0.01
+        assert s(10_000) == 0.01
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Constant(0.0)
+
+
+class TestStepDecay:
+    def test_steps(self):
+        s = StepDecay(1.0, factor=0.5, every=10)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, every=0)
+
+
+class TestExponentialDecay:
+    def test_decay_rate(self):
+        s = ExponentialDecay(1.0, rate=0.5, steps=10)
+        assert s(10) == pytest.approx(0.5)
+        assert s(20) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        s = ExponentialDecay(1.0, rate=0.9, steps=5)
+        values = [s(i) for i in range(50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        s = CosineDecay(1.0, total_steps=100, min_lr=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+
+    def test_clamps_past_total(self):
+        s = CosineDecay(1.0, total_steps=10)
+        assert s(1_000) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        s = CosineDecay(2.0, total_steps=100, min_lr=0.0)
+        assert s(50) == pytest.approx(1.0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        s = WarmupWrapper(Constant(1.0), warmup_steps=10)
+        assert s(0) == pytest.approx(0.1)
+        assert s(4) == pytest.approx(0.5)
+        assert s(10) == 1.0
+
+    def test_zero_warmup_is_passthrough(self):
+        s = WarmupWrapper(Constant(0.3), warmup_steps=0)
+        assert s(0) == 0.3
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(ValueError):
+            WarmupWrapper(Constant(1.0), warmup_steps=-1)
+
+
+class TestResolve:
+    def test_float_becomes_constant(self):
+        s = resolve_schedule(0.05)
+        assert isinstance(s, Constant)
+        assert s(3) == 0.05
+
+    def test_schedule_passthrough(self):
+        s = CosineDecay(1.0, 10)
+        assert resolve_schedule(s) is s

@@ -1,0 +1,125 @@
+"""Tests for BVP processing: peak detection, HRV, the 84-feature set."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    BVP_FEATURE_NAMES,
+    NUM_BVP_FEATURES,
+    detect_pulse_peaks,
+    extract_bvp_features,
+    ibi_from_peaks,
+    interpolate_ibi,
+)
+
+
+def synth_bvp(hr_bpm=72.0, fs=64.0, seconds=30.0, noise=0.02, seed=0):
+    """Clean synthetic pulse train at a fixed heart rate."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(0, seconds, 1 / fs)
+    phase = 2 * np.pi * (hr_bpm / 60.0) * t
+    # Sharpened sinusoid approximates a systolic upstroke.
+    x = np.maximum(np.sin(phase), 0.0) ** 2
+    return x + noise * rng.normal(size=t.size)
+
+
+class TestPeakDetection:
+    def test_detects_correct_beat_count(self):
+        fs, seconds, hr = 64.0, 30.0, 72.0
+        peaks = detect_pulse_peaks(synth_bvp(hr, fs, seconds), fs)
+        expected = hr / 60.0 * seconds
+        assert abs(peaks.size - expected) <= 2
+
+    def test_estimated_hr_accurate(self):
+        fs = 64.0
+        for hr in (55.0, 75.0, 95.0):
+            peaks = detect_pulse_peaks(synth_bvp(hr, fs, 40.0), fs)
+            ibis = ibi_from_peaks(peaks, fs)
+            est_hr = 60.0 / ibis.mean()
+            assert est_hr == pytest.approx(hr, rel=0.05)
+
+    def test_short_signal_returns_empty(self):
+        peaks = detect_pulse_peaks(np.zeros(10), 64.0)
+        assert peaks.size == 0
+
+    def test_ibi_filters_implausible_intervals(self):
+        # Peaks 0.1 s apart => 600 bpm, outside the plausible band.
+        peaks = np.array([0, 6, 12, 76, 140], dtype=int)  # fs=64
+        ibis = ibi_from_peaks(peaks, 64.0)
+        assert np.all(ibis >= 60.0 / 180.0)
+
+    def test_ibi_empty_for_single_peak(self):
+        assert ibi_from_peaks(np.array([5]), 64.0).size == 0
+
+
+class TestInterpolateIBI:
+    def test_resampled_series_rate(self):
+        fs = 64.0
+        peaks = detect_pulse_peaks(synth_bvp(72.0, fs, 60.0), fs)
+        series, fs_r = interpolate_ibi(peaks, fs)
+        assert fs_r == 4.0
+        duration = (peaks[-1] - peaks[1]) / fs
+        assert series.size == pytest.approx(duration * fs_r, abs=2)
+
+    def test_values_near_true_ibi(self):
+        fs = 64.0
+        peaks = detect_pulse_peaks(synth_bvp(60.0, fs, 60.0), fs)
+        series, _ = interpolate_ibi(peaks, fs)
+        assert series.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_too_few_peaks_empty(self):
+        series, _ = interpolate_ibi(np.array([0, 64, 128]), 64.0)
+        assert series.size == 0
+
+
+class TestBVPFeatures:
+    def test_exactly_84_features(self):
+        assert NUM_BVP_FEATURES == 84
+        assert len(set(BVP_FEATURE_NAMES)) == 84
+
+    def test_extraction_returns_all_names(self):
+        features = extract_bvp_features(synth_bvp(), 64.0)
+        assert set(features) == set(BVP_FEATURE_NAMES)
+
+    def test_all_finite(self):
+        features = extract_bvp_features(synth_bvp(), 64.0)
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_hr_feature_tracks_true_rate(self):
+        features = extract_bvp_features(synth_bvp(hr_bpm=90.0, seconds=40.0), 64.0)
+        assert features["hr_mean"] == pytest.approx(90.0, rel=0.07)
+
+    def test_higher_hr_changes_feature(self):
+        low = extract_bvp_features(synth_bvp(hr_bpm=60.0), 64.0)
+        high = extract_bvp_features(synth_bvp(hr_bpm=100.0), 64.0)
+        assert high["hr_mean"] > low["hr_mean"]
+        assert high["ibi_mean"] < low["ibi_mean"]
+
+    def test_noisier_signal_increases_entropy(self):
+        clean = extract_bvp_features(synth_bvp(noise=0.005), 64.0)
+        noisy = extract_bvp_features(synth_bvp(noise=0.3), 64.0)
+        assert noisy["bvp_sampen"] >= clean["bvp_sampen"]
+
+    def test_amplitude_scaling_reflected(self):
+        x = synth_bvp()
+        small = extract_bvp_features(x, 64.0)
+        large = extract_bvp_features(3.0 * x, 64.0)
+        assert large["bvp_std"] == pytest.approx(3.0 * small["bvp_std"], rel=1e-6)
+        assert large["bvp_pulse_amp_mean"] > 2.0 * small["bvp_pulse_amp_mean"]
+
+    def test_window_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            extract_bvp_features(np.zeros(32), 64.0)
+
+    def test_flat_window_degrades_gracefully(self):
+        """No beats detected: peak-derived features must be 0, not NaN."""
+        features = extract_bvp_features(np.zeros(int(64 * 10)), 64.0)
+        assert all(np.isfinite(v) for v in features.values())
+        assert features["peak_count"] == 0.0
+        assert features["hr_mean"] == 0.0
+        assert features["rmssd"] == 0.0
+
+    def test_feature_order_deterministic(self):
+        a = list(extract_bvp_features(synth_bvp(), 64.0))
+        b = list(extract_bvp_features(synth_bvp(hr_bpm=80.0), 64.0))
+        assert a == b == BVP_FEATURE_NAMES

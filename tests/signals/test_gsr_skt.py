@@ -1,0 +1,141 @@
+"""Tests for GSR decomposition / SCR detection and SKT features."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    GSR_FEATURE_NAMES,
+    NUM_GSR_FEATURES,
+    NUM_SKT_FEATURES,
+    SKT_FEATURE_NAMES,
+    decompose_gsr,
+    detect_scrs,
+    extract_gsr_features,
+    extract_skt_features,
+)
+
+
+def synth_gsr(fs=4.0, seconds=120.0, scr_times=(), scr_amp=0.5, base=2.0, seed=0):
+    """Tonic level plus SCR events with 1 s rise and 3 s decay."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(0, seconds, 1 / fs)
+    x = np.full(t.size, base)
+    for onset in scr_times:
+        local = t - onset
+        rise = np.clip(local, 0.0, 1.0)
+        decay = np.exp(-np.clip(local - 1.0, 0.0, None) / 3.0)
+        x += scr_amp * np.where(local > 0, rise * decay, 0.0)
+    return x + 0.005 * rng.normal(size=t.size)
+
+
+class TestDecomposition:
+    def test_tonic_plus_phasic_reconstructs(self):
+        x = synth_gsr(scr_times=(30.0, 60.0))
+        tonic, phasic = decompose_gsr(x, 4.0)
+        np.testing.assert_allclose(tonic + phasic, x, atol=1e-10)
+
+    def test_tonic_tracks_baseline(self):
+        x = synth_gsr(base=5.0)
+        tonic, _ = decompose_gsr(x, 4.0)
+        assert tonic.mean() == pytest.approx(5.0, abs=0.1)
+
+    def test_phasic_near_zero_without_scrs(self):
+        _, phasic = decompose_gsr(synth_gsr(), 4.0)
+        assert np.abs(phasic).max() < 0.1
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            decompose_gsr(np.ones(4), 4.0)
+
+
+class TestSCRDetection:
+    def test_counts_injected_scrs(self):
+        fs = 4.0
+        x = synth_gsr(fs=fs, scr_times=(20.0, 50.0, 80.0), scr_amp=0.6)
+        _, phasic = decompose_gsr(x, fs)
+        scrs = detect_scrs(phasic, fs)
+        assert scrs["peaks"].size == 3
+
+    def test_amplitudes_approximate_injection(self):
+        fs = 4.0
+        x = synth_gsr(fs=fs, scr_times=(30.0,), scr_amp=0.8)
+        _, phasic = decompose_gsr(x, fs)
+        scrs = detect_scrs(phasic, fs)
+        assert scrs["amplitudes"][0] == pytest.approx(0.8, rel=0.25)
+
+    def test_threshold_filters_tiny_bumps(self):
+        fs = 4.0
+        x = synth_gsr(fs=fs, scr_times=(40.0,), scr_amp=0.005)
+        _, phasic = decompose_gsr(x, fs)
+        scrs = detect_scrs(phasic, fs, min_amplitude=0.05)
+        assert scrs["peaks"].size == 0
+
+    def test_rise_times_positive(self):
+        fs = 4.0
+        x = synth_gsr(fs=fs, scr_times=(25.0, 60.0), scr_amp=0.5)
+        _, phasic = decompose_gsr(x, fs)
+        scrs = detect_scrs(phasic, fs)
+        assert np.all(scrs["rise_times"] > 0)
+
+
+class TestGSRFeatures:
+    def test_exactly_34_features(self):
+        assert NUM_GSR_FEATURES == 34
+        assert len(set(GSR_FEATURE_NAMES)) == 34
+
+    def test_names_and_finiteness(self):
+        features = extract_gsr_features(synth_gsr(scr_times=(20.0, 70.0)), 4.0)
+        assert set(features) == set(GSR_FEATURE_NAMES)
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_scr_count_feature(self):
+        features = extract_gsr_features(
+            synth_gsr(scr_times=(20.0, 50.0, 80.0), scr_amp=0.6), 4.0
+        )
+        assert features["scr_count"] == pytest.approx(3.0, abs=1.0)
+
+    def test_more_scrs_higher_rate(self):
+        few = extract_gsr_features(synth_gsr(scr_times=(30.0,)), 4.0)
+        many = extract_gsr_features(
+            synth_gsr(scr_times=tuple(np.arange(10.0, 110.0, 10.0))), 4.0
+        )
+        assert many["scr_rate"] > few["scr_rate"]
+
+    def test_tonic_slope_sign(self):
+        fs = 4.0
+        t = np.arange(0, 120, 1 / fs)
+        rising = 2.0 + 0.01 * t
+        features = extract_gsr_features(rising, fs)
+        assert features["gsr_tonic_slope"] > 0
+
+    def test_quiet_signal_zero_scrs(self):
+        features = extract_gsr_features(synth_gsr(), 4.0)
+        assert features["scr_count"] == 0.0
+        assert features["scr_amp_mean"] == 0.0
+        assert features["scr_recovery_mean"] == 0.0
+
+
+class TestSKTFeatures:
+    def test_exactly_5_features(self):
+        assert NUM_SKT_FEATURES == 5
+        assert SKT_FEATURE_NAMES == [
+            "skt_mean",
+            "skt_std",
+            "skt_slope",
+            "skt_min",
+            "skt_max",
+        ]
+
+    def test_values(self):
+        fs = 4.0
+        t = np.arange(0, 60, 1 / fs)
+        x = 33.0 - 0.002 * t
+        features = extract_skt_features(x, fs)
+        assert features["skt_mean"] == pytest.approx(x.mean())
+        assert features["skt_slope"] == pytest.approx(-0.002, rel=1e-6)
+        assert features["skt_min"] == pytest.approx(x.min())
+        assert features["skt_max"] == pytest.approx(x.max())
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            extract_skt_features(np.array([33.0]), 4.0)

@@ -1,0 +1,56 @@
+"""Tests for shared descriptive-statistics helpers."""
+
+import numpy as np
+import pytest
+from scipy import stats as spstats
+
+from repro.signals.stats import basic_stats, iqr, safe_kurtosis, safe_skew
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(151)
+
+
+class TestBasicStats:
+    def test_twelve_features_with_prefix(self, rng):
+        stats = basic_stats(rng.normal(size=100), "bvp")
+        assert len(stats) == 12
+        assert all(k.startswith("bvp_") for k in stats)
+
+    def test_values_match_numpy(self, rng):
+        x = rng.normal(3.0, 2.0, size=500)
+        stats = basic_stats(x, "s")
+        assert stats["s_mean"] == pytest.approx(x.mean())
+        assert stats["s_std"] == pytest.approx(x.std())
+        assert stats["s_median"] == pytest.approx(np.median(x))
+        assert stats["s_rms"] == pytest.approx(np.sqrt(np.mean(x * x)))
+        assert stats["s_range"] == pytest.approx(x.max() - x.min())
+
+    def test_skew_kurtosis_match_scipy(self, rng):
+        x = rng.exponential(size=500)
+        stats = basic_stats(x, "s")
+        assert stats["s_skew"] == pytest.approx(spstats.skew(x))
+        assert stats["s_kurtosis"] == pytest.approx(spstats.kurtosis(x))
+
+    def test_constant_signal_safe(self):
+        stats = basic_stats(np.full(50, 2.0), "s")
+        assert stats["s_skew"] == 0.0
+        assert stats["s_kurtosis"] == 0.0
+        assert stats["s_std"] == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            basic_stats(np.array([1.0]), "s")
+
+
+class TestSafeHelpers:
+    def test_safe_skew_constant(self):
+        assert safe_skew(np.full(20, 1.0)) == 0.0
+
+    def test_safe_kurtosis_short(self):
+        assert safe_kurtosis(np.array([1.0, 2.0, 3.0])) == 0.0
+
+    def test_iqr_known_value(self):
+        x = np.arange(1, 101, dtype=float)
+        assert iqr(x) == pytest.approx(49.5)

@@ -1,0 +1,100 @@
+"""Repository-quality meta-tests: docstrings, exports, public API shape."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.signals",
+    "repro.datasets",
+    "repro.clustering",
+    "repro.core",
+    "repro.edge",
+    "repro.experiments",
+]
+
+
+def iter_public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in dir(module) if not n.startswith("_")]
+    for name in names:
+        yield name, getattr(module, name)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_has_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_public_classes_and_functions_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name, member in iter_public_members(module):
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{package} exports undocumented members: {undocumented}"
+        )
+
+    def test_all_submodules_have_docstrings(self):
+        missing = []
+        for pkg_name in PACKAGES:
+            pkg = importlib.import_module(pkg_name)
+            if not hasattr(pkg, "__path__"):
+                continue
+            for info in pkgutil.iter_modules(pkg.__path__):
+                module = importlib.import_module(f"{pkg_name}.{info.name}")
+                if not (module.__doc__ and module.__doc__.strip()):
+                    missing.append(module.__name__)
+        assert not missing, f"modules without docstrings: {missing}"
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+    def test_version_defined(self):
+        assert repro.__version__
+
+
+class TestPublicAPISurface:
+    def test_core_entry_points_exist(self):
+        from repro.core import (  # noqa: F401
+            CLEAR,
+            CLEARConfig,
+            CLEARSystem,
+            clear_validation,
+            load_system,
+            save_system,
+        )
+
+    def test_paper_feature_counts_are_constants(self):
+        from repro.signals import (
+            NUM_BVP_FEATURES,
+            NUM_FEATURES,
+            NUM_GSR_FEATURES,
+            NUM_SKT_FEATURES,
+        )
+
+        assert (NUM_BVP_FEATURES, NUM_GSR_FEATURES, NUM_SKT_FEATURES) == (84, 34, 5)
+        assert NUM_FEATURES == 123
+
+    def test_device_registry_matches_paper_platforms(self):
+        from repro.edge import ALL_DEVICES
+
+        names = {d.name for d in ALL_DEVICES.values()}
+        assert "Coral TPU" in names
+        assert "Pi + NCS2" in names

@@ -1,0 +1,138 @@
+"""Tests for the workflow CLI (python -m repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import save_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tiny_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.npz"
+    save_dataset(tiny_dataset, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def system_dir(corpus_path, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "deploy"
+    code = main(
+        [
+            "fit",
+            "--corpus",
+            str(corpus_path),
+            "--out",
+            str(out),
+            "--exclude",
+            "7",
+            "--seed",
+            "0",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--preset", "tiny", "--out", "x.npz"]
+        )
+        assert args.preset == "tiny"
+        assert args.func.__name__ == "cmd_generate"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--preset", "huge", "--out", "x"])
+
+
+class TestWorkflow:
+    def test_generate(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--preset",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                str(tmp_path / "c.npz"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "c.npz").exists()
+        assert "subjects" in capsys.readouterr().out
+
+    def test_fit_creates_bundle(self, system_dir):
+        assert (system_dir / "manifest.json").exists()
+
+    def test_assign(self, system_dir, corpus_path, capsys):
+        code = main(
+            [
+                "assign",
+                "--system",
+                str(system_dir),
+                "--corpus",
+                str(corpus_path),
+                "--subject",
+                "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subject 7 -> cluster" in out
+
+    def test_evaluate(self, system_dir, corpus_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--system",
+                str(system_dir),
+                "--corpus",
+                str(corpus_path),
+                "--subject",
+                "7",
+            ]
+        )
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_evaluate_explicit_cluster(self, system_dir, corpus_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--system",
+                str(system_dir),
+                "--corpus",
+                str(corpus_path),
+                "--subject",
+                "7",
+                "--cluster",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "cluster 0" in capsys.readouterr().out
+
+    def test_personalize(self, system_dir, corpus_path, tmp_path, capsys):
+        code = main(
+            [
+                "personalize",
+                "--system",
+                str(system_dir),
+                "--corpus",
+                str(corpus_path),
+                "--subject",
+                "7",
+                "--out",
+                str(tmp_path / "tuned.npz"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "before fine-tuning" in out
+        assert (tmp_path / "tuned.npz").exists()

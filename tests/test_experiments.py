@@ -1,0 +1,111 @@
+"""Tests for the experiments runner package."""
+
+import json
+
+import pytest
+
+from repro.core import CLEARConfig, FineTuneConfig, ModelConfig, TrainingConfig
+from repro.datasets import WEMACConfig
+from repro.experiments import (
+    ExperimentReport,
+    ExperimentScale,
+    ReportRegistry,
+    run_fig1_pipeline,
+    run_fig2_architecture,
+    run_setup_statistics,
+    run_table1,
+)
+from repro.experiments.__main__ import build_parser
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    """A scale small enough for unit tests."""
+    return ExperimentScale(
+        dataset=WEMACConfig.tiny(seed=0),
+        clear=CLEARConfig(
+            num_clusters=4,
+            subclusters_per_cluster=2,
+            gc_refinements=2,
+            model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+            training=TrainingConfig(epochs=6, batch_size=8, early_stopping_patience=2),
+            fine_tuning=FineTuneConfig(epochs=3),
+            seed=0,
+        ),
+        max_folds=2,
+    )
+
+
+class TestReportContainers:
+    def test_checks_pass_logic(self):
+        report = ExperimentReport("x", "t", "text", checks={"a": True, "b": False})
+        assert not report.all_checks_pass
+        assert report.failed_checks() == ["b"]
+
+    def test_empty_checks_pass(self):
+        assert ExperimentReport("x", "t", "text").all_checks_pass
+
+    def test_registry_lookup(self):
+        registry = ReportRegistry()
+        registry.add(ExperimentReport("a", "t", "body"))
+        assert registry.get("a").experiment_id == "a"
+        with pytest.raises(KeyError):
+            registry.get("zzz")
+
+    def test_registry_render_marks_failures(self):
+        registry = ReportRegistry()
+        registry.add(ExperimentReport("bad", "t", "body", checks={"c": False}))
+        assert "CHECKS FAILED" in registry.render()
+
+    def test_json_roundtrip(self, tmp_path):
+        registry = ReportRegistry()
+        registry.add(
+            ExperimentReport("a", "t", "body", measured={"x": 1}, checks={"ok": True})
+        )
+        path = registry.save_json(tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data[0]["experiment_id"] == "a"
+        assert data[0]["measured"] == {"x": 1}
+
+
+class TestLightRunners:
+    def test_fig2_report(self):
+        report = run_fig2_architecture()
+        assert report.experiment_id == "fig2"
+        assert report.all_checks_pass
+        assert report.measured["params"] > 10_000
+        assert "conv1" in report.text
+
+    def test_setup_report(self, tiny_scale, tiny_dataset):
+        report = run_setup_statistics(tiny_scale, tiny_dataset)
+        assert report.all_checks_pass
+        assert report.measured["num_features"] == 123
+
+    def test_fig1_report(self, tiny_scale, tiny_dataset):
+        report = run_fig1_pipeline(tiny_scale, tiny_dataset)
+        assert "cloud" in report.text
+        assert report.checks["assignment_instant"]
+
+    def test_table1_report_structure(self, tiny_scale, tiny_dataset):
+        report = run_table1(tiny_scale, tiny_dataset)
+        assert "CLEAR w FT" in report.measured
+        assert "General Model" in report.text
+        # paper columns included
+        assert report.paper["CLEAR w FT"]["accuracy"] == 86.34
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []  # empty means "all" in main()
+        assert args.scale == "bench"
+
+    def test_parser_selection(self):
+        args = build_parser().parse_args(["fig2", "setup", "--json", "out.json"])
+        assert args.experiments == ["fig2", "setup"]
+        assert args.json == "out.json"
+
+    def test_main_rejects_unknown_experiment(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["table9"]) == 2

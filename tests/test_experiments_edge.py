@@ -1,0 +1,67 @@
+"""Tests for the Table II experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.core import CLEARConfig, FineTuneConfig, ModelConfig, TrainingConfig
+from repro.datasets import WEMACConfig
+from repro.experiments import ExperimentScale, run_table2_lower, run_table2_upper
+from repro.experiments.runner import _edge_folds
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        dataset=WEMACConfig.tiny(seed=0),
+        clear=CLEARConfig(
+            num_clusters=4,
+            subclusters_per_cluster=2,
+            gc_refinements=2,
+            model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+            training=TrainingConfig(epochs=6, batch_size=8, early_stopping_patience=2),
+            fine_tuning=FineTuneConfig(epochs=3),
+            seed=0,
+        ),
+        max_folds=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def folds(tiny_scale, tiny_dataset):
+    return _edge_folds(tiny_scale, tiny_dataset)
+
+
+class TestEdgeFolds:
+    def test_fold_count_respects_max(self, folds):
+        assert len(folds) == 2
+
+    def test_fold_contents(self, folds):
+        for fold in folds:
+            assert fold["checkpoint"] is not None
+            assert fold["tuned"] is not None
+            assert fold["calibration"]
+            assert fold["test_maps"]
+            assert fold["ft_examples"] >= 1
+
+
+class TestTable2Runners:
+    def test_upper_report(self, tiny_scale, tiny_dataset, folds):
+        report = run_table2_upper(tiny_scale, tiny_dataset, folds)
+        assert report.experiment_id == "table2_upper"
+        assert set(report.measured) == {"gpu", "coral_tpu", "pi_ncs2"}
+        for row in report.measured.values():
+            assert 0.0 <= row["accuracy"] <= 100.0
+        assert "Coral TPU" in report.text
+
+    def test_lower_report(self, tiny_scale, tiny_dataset, folds):
+        report = run_table2_lower(tiny_scale, tiny_dataset, folds)
+        assert report.experiment_id == "table2_lower"
+        costs = report.measured["costs"]
+        # The cost-model orderings must hold even at tiny scale.
+        assert costs["coral_tpu"]["test_ms"] < costs["pi_ncs2"]["test_ms"]
+        assert costs["coral_tpu"]["retrain_s"] < costs["pi_ncs2"]["retrain_s"]
+        assert report.checks["tpu_lower_power"]
+
+    def test_reports_carry_paper_values(self, tiny_scale, tiny_dataset, folds):
+        report = run_table2_lower(tiny_scale, tiny_dataset, folds)
+        assert report.paper["coral_tpu"]["retrain_s"] == 32.48
+        assert report.paper["pi_ncs2"]["test_ms"] == 239.70

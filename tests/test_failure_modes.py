@@ -1,0 +1,117 @@
+"""Failure-injection tests at the pipeline level.
+
+A production system's failure behaviour matters as much as its happy
+path: corrupted inputs must produce clear errors or graceful
+degradation, never silent nonsense or NaN propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import GlobalClustering
+from repro.core import CLEAR, CLEARConfig, ModelConfig, TrainingConfig, train_on_maps
+from repro.signals import FeatureMap, FeatureNormalizer, maps_to_arrays
+
+FAST_CFG = CLEARConfig(
+    num_clusters=4,
+    gc_refinements=1,
+    model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+    training=TrainingConfig(epochs=3, batch_size=8),
+    seed=0,
+)
+
+
+def make_maps(rng, n=8, f=12, w=4, subject=0):
+    return [
+        FeatureMap(rng.normal(size=(f, w)), label=i % 2, subject_id=subject)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(161)
+
+
+class TestShapeMismatches:
+    def test_mixed_map_shapes_rejected(self, rng):
+        maps = make_maps(rng, n=4, w=4) + make_maps(rng, n=4, w=6)
+        with pytest.raises(ValueError, match="inconsistent"):
+            maps_to_arrays(maps)
+
+    def test_training_on_mixed_shapes_fails_loudly(self, rng):
+        maps = make_maps(rng, n=4, w=4) + make_maps(rng, n=4, w=6)
+        with pytest.raises(ValueError):
+            train_on_maps(maps, FAST_CFG.model, FAST_CFG.training)
+
+    def test_prediction_with_wrong_feature_count_fails(self, rng):
+        trained = train_on_maps(
+            make_maps(rng, n=8, f=12), FAST_CFG.model, FAST_CFG.training
+        )
+        wrong = make_maps(rng, n=2, f=20)
+        with pytest.raises(Exception):
+            trained.predict_classes(wrong)
+
+
+class TestDegenerateData:
+    def test_single_class_training_does_not_crash(self, rng):
+        maps = [
+            FeatureMap(rng.normal(size=(12, 4)), label=1, subject_id=0)
+            for _ in range(6)
+        ]
+        trained = train_on_maps(maps, FAST_CFG.model, FAST_CFG.training)
+        preds = trained.predict_classes(maps)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_constant_features_do_not_produce_nans(self, rng):
+        maps = [
+            FeatureMap(np.full((12, 4), 3.0), label=i % 2, subject_id=0)
+            for i in range(6)
+        ]
+        normalized = FeatureNormalizer().fit_transform(maps)
+        assert all(np.isfinite(m.values).all() for m in normalized)
+        trained = train_on_maps(maps, FAST_CFG.model, FAST_CFG.training)
+        x, _ = maps_to_arrays(trained.normalizer.transform_all(maps))
+        assert np.isfinite(trained.model.predict(x)).all()
+
+    def test_clustering_identical_subjects(self, rng):
+        """All-identical users: clusters exist, nothing crashes."""
+        template = make_maps(rng, n=4)
+        maps_by = {
+            sid: [FeatureMap(m.values.copy(), m.label, sid) for m in template]
+            for sid in range(6)
+        }
+        gc = GlobalClustering(k=4, seed=0).fit(maps_by)
+        assert sum(gc.cluster_sizes()) == 6
+
+
+class TestExtremeMagnitudes:
+    def test_huge_feature_values_survive_pipeline(self, rng):
+        maps = [
+            FeatureMap(1e9 * rng.normal(size=(12, 4)), label=i % 2, subject_id=0)
+            for i in range(8)
+        ]
+        trained = train_on_maps(maps, FAST_CFG.model, FAST_CFG.training)
+        metrics = trained.evaluate(maps)
+        assert np.isfinite(metrics["accuracy"])
+
+    def test_assigner_with_outlier_user(self, rng, tiny_maps_by_subject):
+        system = CLEAR(FAST_CFG).fit(tiny_maps_by_subject)
+        some_map = next(iter(tiny_maps_by_subject.values()))[0]
+        outlier = FeatureMap(
+            some_map.values * 1e6, label=0, subject_id=999
+        )
+        result = system.assign_new_user([outlier])
+        assert 0 <= result.cluster < 4
+        assert all(np.isfinite(s) for s in result.scores.values())
+
+
+class TestEmptyInputs:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            CLEAR(FAST_CFG).fit({})
+
+    def test_subject_with_no_maps_rejected(self, rng):
+        maps_by = {0: make_maps(rng), 1: []}
+        with pytest.raises(ValueError, match="no feature maps"):
+            GlobalClustering(k=2, seed=0).fit(maps_by)
