@@ -16,6 +16,7 @@ setup(
         "console_scripts": [
             "clear-repro=repro.cli:main",
             "clear-experiments=repro.experiments.__main__:main",
+            "repro-lint=repro.analysis.lint:main",
         ]
     },
 )

@@ -15,13 +15,16 @@ Subpackages
     The CLEAR methodology: pipeline, CNN-LSTM, Table-I validation harness.
 ``repro.edge``
     Quantization + device cost models for the Table-II edge experiments.
+``repro.analysis``
+    Static model/graph validator + repo-invariant lint engine.
 """
 
 __version__ = "1.0.0"
 
-from . import clustering, core, datasets, edge, experiments, nn, signals, viz
+from . import analysis, clustering, core, datasets, edge, experiments, nn, signals, viz
 
 __all__ = [
+    "analysis",
     "nn",
     "signals",
     "datasets",

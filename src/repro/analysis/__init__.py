@@ -1,0 +1,55 @@
+"""Static analysis for the CLEAR reproduction.
+
+Two engines:
+
+``repro.analysis.shapes`` / ``repro.analysis.graph``
+    Symbolic shape + dtype inference over layer stacks and architecture
+    configs — rejects mis-shaped models before any forward pass runs
+    (``Sequential.validate``, ``repro check-model``, and the pre-flight
+    hooks in :mod:`repro.core.trainer` / :mod:`repro.core.pipeline`).
+``repro.analysis.lint``
+    AST-based repo-invariant linter (``python -m repro.analysis.lint``)
+    targeting reproduction-killers: untracked randomness, mutable
+    defaults, bare excepts, exact float comparisons.
+"""
+
+from .graph import (
+    LayerReport,
+    ModelReport,
+    PRECISION_BYTES,
+    trace_layers,
+    validate_architecture,
+    validate_config,
+    validate_model,
+)
+from .shapes import GraphValidationError, TensorSpec, estimate_param_count
+
+_LINT_EXPORTS = ("Finding", "LintRule", "RULES", "lint_paths", "lint_source")
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.analysis.lint` doesn't re-execute a module
+    # already imported by the package (runpy RuntimeWarning).
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "GraphValidationError",
+    "TensorSpec",
+    "estimate_param_count",
+    "LayerReport",
+    "ModelReport",
+    "PRECISION_BYTES",
+    "trace_layers",
+    "validate_architecture",
+    "validate_config",
+    "validate_model",
+    "Finding",
+    "LintRule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,457 @@
+"""Repo-invariant lint engine: AST rules targeting reproduction-killers.
+
+A tiny, dependency-free flake8-alike scoped to the defects that actually
+destroy a reproduction of the CLEAR results: untracked randomness,
+mutable defaults that leak state across LOSO folds, bare excepts that
+swallow training failures, and exact float comparisons that flip with
+precision changes (fp64 → fp16/int8 on the edge).
+
+Usage::
+
+    python -m repro.analysis.lint src/repro            # text report
+    python -m repro.analysis.lint --format json src/   # machine-readable
+
+Suppression: append ``# repro: noqa`` (all rules) or
+``# repro: noqa[RPR002]`` / ``# repro: noqa[RPR002,RPR005]`` (specific
+codes) to the offending line.
+
+Rules
+-----
+RPR001
+    Legacy ``np.random.*`` call (global-state RNG; unseeded and
+    unthreadable).  Use ``np.random.default_rng(seed)``.
+RPR002
+    ``np.random.default_rng()`` with no seed in library code — every
+    run draws differently, so no result is reproducible.
+RPR003
+    Mutable default argument (list/dict/set); shared across calls.
+RPR004
+    Bare ``except:`` — swallows ``KeyboardInterrupt`` and hides the
+    real failure mid-training.
+RPR005
+    ``==`` / ``!=`` against a non-zero float literal; exact comparison
+    breaks under dtype changes (0.0 is exempt: exactly representable
+    and the idiomatic "feature disabled" sentinel).
+RPR006
+    Public module-level function draws from a generator seeded with a
+    hard-coded literal but exposes no ``rng``/``seed`` parameter — the
+    randomness cannot be threaded from the experiment config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Legacy numpy global-state RNG entry points (module functions on
+#: ``np.random`` / ``numpy.random``).  ``default_rng`` & friends are the
+#: sanctioned API and deliberately absent.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "multivariate_normal",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Parameter names that count as "randomness is threaded by the caller".
+RNG_PARAM_NAMES = frozenset({"rng", "seed", "random_state", "generator"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+RULES: Dict[str, Type["LintRule"]] = {}
+
+
+def register(cls: Type["LintRule"]) -> Type["LintRule"]:
+    """Add a rule class to the global registry, keyed by its code."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate lint rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+class LintRule:
+    """Base class: walk a module AST, yield findings."""
+
+    code = "RPR000"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def _np_random_attr(node: ast.AST) -> Optional[str]:
+    """If ``node`` is ``np.random.X`` / ``numpy.random.X``, return ``X``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+@register
+class LegacyNumpyRandomRule(LintRule):
+    """RPR001: legacy global-state ``np.random.*`` calls."""
+
+    code = "RPR001"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                attr = _np_random_attr(node.func)
+                if attr in LEGACY_NP_RANDOM:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"legacy global-state RNG np.random.{attr}(); "
+                        f"use np.random.default_rng(seed) and thread the "
+                        f"generator explicitly",
+                    )
+
+
+@register
+class UnseededDefaultRngRule(LintRule):
+    """RPR002: ``np.random.default_rng()`` with no seed argument."""
+
+    code = "RPR002"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _np_random_attr(node.func) == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    "np.random.default_rng() without a seed draws "
+                    "differently on every run; pass an explicit seed or a "
+                    "threaded generator",
+                )
+
+
+@register
+class MutableDefaultRule(LintRule):
+    """RPR003: mutable default arguments."""
+
+    code = "RPR003"
+
+    _MUTABLE_CTORS = frozenset({"list", "dict", "set"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CTORS
+            and not node.args
+            and not node.keywords
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        yield self.finding(
+                            path,
+                            default,
+                            f"mutable default argument in {node.name}(); "
+                            f"use None and create the object in the body",
+                        )
+
+
+@register
+class BareExceptRule(LintRule):
+    """RPR004: bare ``except:`` clauses."""
+
+    code = "RPR004"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    path,
+                    node,
+                    "bare except catches SystemExit/KeyboardInterrupt and "
+                    "hides the real failure; catch Exception or narrower",
+                )
+
+
+@register
+class FloatEqualityRule(LintRule):
+    """RPR005: ``==``/``!=`` against a non-zero float literal."""
+
+    code = "RPR005"
+
+    @staticmethod
+    def _nonzero_float(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    self._nonzero_float(left) or self._nonzero_float(right)
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        "exact ==/!= against a non-zero float literal flips "
+                        "under precision changes; compare with a tolerance "
+                        "(np.isclose / math.isclose)",
+                    )
+
+
+@register
+class UnthreadedRngRule(LintRule):
+    """RPR006: literal-seeded RNG in a public function with no rng/seed param.
+
+    Flags randomness that callers cannot thread: a module-level public
+    function that seeds ``default_rng`` with a literal but accepts no
+    ``rng``/``seed``/``random_state``/``generator`` parameter."""
+
+    code = "RPR006"
+
+    @staticmethod
+    def _param_names(node) -> List[str]:
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        names = [a.arg for a in params]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue  # private helpers may be deterministic by design
+            params = self._param_names(node)
+            if not params or RNG_PARAM_NAMES.intersection(params):
+                continue
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _np_random_attr(inner.func) == "default_rng"
+                    and inner.args
+                    and isinstance(inner.args[0], ast.Constant)
+                    and isinstance(inner.args[0].value, (int, float))
+                ):
+                    yield self.finding(
+                        path,
+                        inner,
+                        f"{node.name}() hard-codes the RNG seed "
+                        f"{inner.args[0].value!r}; accept an rng/seed "
+                        f"parameter so experiments can thread randomness",
+                    )
+
+
+# -- engine --------------------------------------------------------------
+
+def _suppressed(finding: Finding, source_lines: Sequence[str]) -> bool:
+    """True if the finding's physical line carries a matching noqa."""
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _NOQA_RE.search(source_lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group(1)
+    if codes is None:
+        return True  # blanket noqa
+    return finding.code in {c.strip() for c in codes.split(",")}
+
+
+def lint_source(
+    source: str, path: str = "<string>", codes: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RPR900",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    selected = set(codes) if codes is not None else set(RULES)
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for code in sorted(selected):
+        rule = RULES[code]()
+        findings.extend(
+            f for f in rule.check(tree, path) if not _suppressed(f, lines)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files they contain."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path], codes: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint every python file reachable from ``paths``."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        findings.extend(
+            lint_source(
+                file_path.read_text(encoding="utf-8"), str(file_path), codes
+            )
+        )
+    return findings
+
+
+def report_text(findings: Sequence[Finding]) -> str:
+    lines = [f.format_text() for f in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: 0 findings"
+    )
+    return "\n".join(lines)
+
+
+def report_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+        indent=2,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Lint python sources for reproduction-killing patterns.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            doc = (RULES[code].__doc__ or "").split("\n")[0].strip()
+            print(f"{code}  {doc}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+    codes = None
+    if args.select:
+        codes = [c.strip() for c in args.select.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULES]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such file or directory: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths([Path(p) for p in args.paths], codes)
+    print(report_json(findings) if args.fmt == "json" else report_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

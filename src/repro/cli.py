@@ -7,6 +7,7 @@ Workflow-shaped subcommands::
     python -m repro.cli assign --system deploy/ --corpus corpus.npz --subject 3
     python -m repro.cli evaluate --system deploy/ --corpus corpus.npz --subject 3
     python -m repro.cli personalize --system deploy/ --corpus corpus.npz --subject 3
+    python -m repro.cli check-model --input-shape 1,8,20 --pool-size 2,1
 
 (The tables/figures runner lives in ``python -m repro.experiments``.)
 """
@@ -134,6 +135,66 @@ def cmd_personalize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _int_tuple(text: str):
+    """Parse '1,8,20' into (1, 8, 20) for shape-like CLI arguments."""
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def cmd_check_model(args: argparse.Namespace) -> int:
+    """Statically validate a model graph — no forward pass, no training.
+
+    Three sources, checked in this order: a checkpoint (.npz), an
+    architecture JSON (``model_to_config`` format), or CNN-LSTM config
+    flags.  Exits non-zero with a message naming the offending layer if
+    the graph cannot run.
+    """
+    import json
+
+    from .analysis.graph import validate_architecture, validate_config
+    from .analysis.shapes import GraphValidationError
+    from .core.config import ModelConfig
+
+    input_shape = tuple(args.input_shape)
+    try:
+        if args.checkpoint:
+            with np.load(args.checkpoint, allow_pickle=False) as data:
+                config = json.loads(
+                    bytes(data["__config__"].tobytes()).decode("utf-8")
+                )
+            report = validate_config(config, input_shape, dtype=args.dtype)
+        elif args.arch_json:
+            config = json.loads(Path(args.arch_json).read_text(encoding="utf-8"))
+            report = validate_config(config, input_shape, dtype=args.dtype)
+        else:
+            model_config = ModelConfig(
+                conv_filters=tuple(args.conv_filters),
+                kernel_size=args.kernel_size,
+                pool_size=tuple(args.pool_size),
+                lstm_units=args.lstm_units,
+                dropout=args.dropout,
+                num_classes=args.num_classes,
+                recurrent_cell=args.recurrent_cell,
+                attention_readout=args.attention,
+            )
+            report = validate_architecture(
+                input_shape, model_config, dtype=args.dtype
+            )
+    except (GraphValidationError, ValueError) as exc:
+        print(f"model validation FAILED for input {input_shape}: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(f"OK: graph is valid for input {input_shape}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -179,6 +240,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="save the tuned checkpoint here")
     p.set_defaults(func=cmd_personalize)
+
+    p = sub.add_parser(
+        "check-model",
+        help="statically validate a model graph (shapes/dtypes/params) "
+        "without running a forward pass",
+    )
+    p.add_argument(
+        "--input-shape",
+        type=_int_tuple,
+        required=True,
+        help="batch-less input shape, e.g. 1,123,20 for (C, F, W)",
+    )
+    p.add_argument("--checkpoint", default=None, help="validate a saved .npz model")
+    p.add_argument(
+        "--arch-json",
+        default=None,
+        help="validate an architecture JSON (model_to_config format)",
+    )
+    p.add_argument("--conv-filters", type=_int_tuple, default=(8, 16))
+    p.add_argument("--kernel-size", type=int, default=3)
+    p.add_argument("--pool-size", type=_int_tuple, default=(2, 1))
+    p.add_argument("--lstm-units", type=int, default=32)
+    p.add_argument("--dropout", type=float, default=0.25)
+    p.add_argument("--num-classes", type=int, default=2)
+    p.add_argument(
+        "--recurrent-cell", choices=["lstm", "gru", "rnn"], default="lstm"
+    )
+    p.add_argument("--attention", action="store_true")
+    p.add_argument(
+        "--dtype",
+        default="float64",
+        help="input activation dtype for the dtype-propagation check",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.set_defaults(func=cmd_check_model)
 
     return parser
 

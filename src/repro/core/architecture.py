@@ -8,10 +8,47 @@ integrates sequential context and a dense softmax head classifies.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .. import nn
 from .config import ModelConfig
+
+
+def cnn_lstm_layers(
+    config: Optional[ModelConfig] = None, seed: int = 0
+) -> List[nn.Layer]:
+    """The CLEAR CNN-LSTM layer stack, unbuilt (no parameters allocated).
+
+    Constructing layers is cheap and side-effect free, so this is the
+    entry point for *static* validation (``repro check-model``, the
+    trainer/pipeline pre-flight hooks): the stack can be traced
+    symbolically without ever running a forward pass.
+    """
+    cfg = config or ModelConfig()
+    recurrent_cls = {"lstm": nn.LSTM, "gru": nn.GRU, "rnn": nn.SimpleRNN}[
+        cfg.recurrent_cell
+    ]
+    layers: List[nn.Layer] = [
+        nn.Conv2D(cfg.conv_filters[0], cfg.kernel_size, padding="same", name="conv1"),
+        nn.ReLU(name="relu1"),
+        nn.MaxPool2D(cfg.pool_size, name="pool1"),
+        nn.Conv2D(cfg.conv_filters[1], cfg.kernel_size, padding="same", name="conv2"),
+        nn.ReLU(name="relu2"),
+        nn.MaxPool2D(cfg.pool_size, name="pool2"),
+        nn.ToSequence(name="to_sequence"),
+    ]
+    if cfg.attention_readout:
+        layers.append(
+            recurrent_cls(cfg.lstm_units, return_sequences=True, name="lstm")
+        )
+        layers.append(
+            nn.TemporalAttention(max(4, cfg.lstm_units // 2), name="attention")
+        )
+    else:
+        layers.append(recurrent_cls(cfg.lstm_units, name="lstm"))
+    layers.append(nn.Dropout(cfg.dropout, seed=seed, name="dropout"))
+    layers.append(nn.Dense(cfg.num_classes, name="head"))
+    return layers
 
 
 def build_cnn_lstm(
@@ -40,30 +77,7 @@ def build_cnn_lstm(
             f"architecture's pooling {cfg.pool_size}"
         )
 
-    recurrent_cls = {"lstm": nn.LSTM, "gru": nn.GRU, "rnn": nn.SimpleRNN}[
-        cfg.recurrent_cell
-    ]
-    layers = [
-        nn.Conv2D(cfg.conv_filters[0], cfg.kernel_size, padding="same", name="conv1"),
-        nn.ReLU(name="relu1"),
-        nn.MaxPool2D(cfg.pool_size, name="pool1"),
-        nn.Conv2D(cfg.conv_filters[1], cfg.kernel_size, padding="same", name="conv2"),
-        nn.ReLU(name="relu2"),
-        nn.MaxPool2D(cfg.pool_size, name="pool2"),
-        nn.ToSequence(name="to_sequence"),
-    ]
-    if cfg.attention_readout:
-        layers.append(
-            recurrent_cls(cfg.lstm_units, return_sequences=True, name="lstm")
-        )
-        layers.append(
-            nn.TemporalAttention(max(4, cfg.lstm_units // 2), name="attention")
-        )
-    else:
-        layers.append(recurrent_cls(cfg.lstm_units, name="lstm"))
-    layers.append(nn.Dropout(cfg.dropout, seed=seed, name="dropout"))
-    layers.append(nn.Dense(cfg.num_classes, name="head"))
-    model = nn.Sequential(layers, seed=seed)
+    model = nn.Sequential(cnn_lstm_layers(cfg, seed=seed), seed=seed)
     model.build(tuple(input_shape))
     return model
 

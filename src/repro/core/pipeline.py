@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.graph import validate_architecture
 from ..clustering.assignment import AssignmentResult, ColdStartAssigner
 from ..clustering.global_clustering import GlobalClustering, GlobalClusteringResult
 from ..clustering.subclusters import SubClusterModel, build_subclusters
@@ -87,6 +88,16 @@ class CLEAR:
             subject's labelled feature maps.
         """
         cfg = self.config
+
+        # Pre-flight: validate the architecture against the population's
+        # feature-map shape once, statically, so a bad config is rejected
+        # before clustering runs or any cluster model trains.
+        first_map = next(
+            (m for maps in maps_by_subject.values() for m in maps), None
+        )
+        if first_map is not None:
+            validate_architecture((1,) + first_map.values.shape, cfg.model)
+
         gc = GlobalClustering(
             k=cfg.num_clusters,
             n_refinements=cfg.gc_refinements,

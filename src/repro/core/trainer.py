@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..analysis.graph import validate_architecture
 from ..signals.feature_map import FeatureMap, FeatureNormalizer, maps_to_arrays
 from .architecture import build_cnn_lstm, freeze_feature_extractor
 from .config import CLEARConfig, FineTuneConfig, ModelConfig, TrainingConfig
@@ -65,6 +66,11 @@ def train_on_maps(
     normalizer = FeatureNormalizer().fit(train_maps)
     x, y = maps_to_arrays(normalizer.transform_all(train_maps))
     input_shape = x.shape[1:]
+
+    # Pre-flight: reject a mis-shaped architecture statically, before any
+    # parameter is allocated or epoch runs (GraphValidationError names the
+    # offending layer).
+    validate_architecture(input_shape, model_config)
 
     model = build_cnn_lstm(input_shape, model_config, seed=seed)
     model.compile(
@@ -126,6 +132,7 @@ def fine_tune(
     from ..nn.checkpoint import model_from_config, model_to_config
 
     tuned = model_from_config(model_to_config(base.model), seed=seed)
+    tuned.validate(x.shape[1:])  # pre-flight: fail before any fine-tuning step
     tuned.forward(x[:1])  # build
     tuned.set_weights(base.model.get_weights())
     if config.freeze_feature_extractor:

@@ -320,7 +320,7 @@ def run_fig1_pipeline(
     system = CLEAR(scale.clear).fit(population)
     timings["cloud_fit_s"] = time.perf_counter() - t0
 
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(scale.clear.seed)
     ca_maps, held_back = split_maps_by_fraction(
         record.maps, scale.clear.ca_data_fraction, rng, stratified=False
     )

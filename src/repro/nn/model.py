@@ -19,13 +19,18 @@ def iterate_minibatches(
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = True,
 ):
-    """Yield index arrays covering ``range(n)`` in mini-batches."""
+    """Yield index arrays covering ``range(n)`` in mini-batches.
+
+    When no ``rng`` is supplied the shuffle falls back to a fixed seed so
+    that standalone calls stay reproducible (callers that want varying
+    orders must thread their own generator, as ``Sequential.fit`` does).
+    """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     indices = np.arange(n)
     if shuffle:
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng(0)
         rng.shuffle(indices)
     for start in range(0, n, batch_size):
         yield indices[start : start + batch_size]
@@ -66,8 +71,29 @@ class Sequential:
         self.optimizer = optim_mod.get(optimizer)
         return self
 
+    def validate(self, input_shape: Tuple[int, ...], dtype: str = "float64"):
+        """Statically validate the stack for ``input_shape`` (no forward).
+
+        Walks every layer's ``output_shape`` contract symbolically and
+        returns a :class:`repro.analysis.ModelReport` (per-layer shapes,
+        dtypes, parameter counts, memory footprints).  Raises
+        :class:`repro.analysis.GraphValidationError` — naming the layer
+        index and the expected-vs-actual shapes — on the first defect.
+        """
+        # Imported lazily: repro.analysis is deliberately decoupled from
+        # repro.nn so each can be imported without the other.
+        from ..analysis.graph import validate_model
+
+        return validate_model(self, input_shape, dtype=dtype)
+
     def build(self, input_shape: Tuple[int, ...]) -> None:
-        """Eagerly build all layers from a (batch-less) input shape."""
+        """Eagerly build all layers from a (batch-less) input shape.
+
+        The stack is statically validated first, so a mis-shaped
+        architecture fails with a :class:`~repro.analysis.GraphValidationError`
+        naming the offending layer instead of an opaque NumPy error.
+        """
+        self.validate(input_shape)
         shape = tuple(input_shape)
         for layer in self.layers:
             if not layer.built:

@@ -1,0 +1,194 @@
+"""Lint-rule fixtures: each rule fires on the bad snippet, not the good one."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    lint_paths,
+    lint_source,
+    main,
+    report_json,
+    report_text,
+)
+
+
+def codes_of(source):
+    return [f.code for f in lint_source(textwrap.dedent(source))]
+
+
+class TestRuleFixtures:
+    """(rule, bad snippet, good snippet) triples."""
+
+    FIXTURES = {
+        "RPR001": (
+            "import numpy as np\nx = np.random.rand(3)\n",
+            "import numpy as np\nx = np.random.default_rng(0).random(3)\n",
+        ),
+        "RPR002": (
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        ),
+        "RPR003": (
+            "def f(items=[]):\n    return items\n",
+            "def f(items=None):\n    return items or []\n",
+        ),
+        "RPR004": (
+            "try:\n    pass\nexcept:\n    pass\n",
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+        ),
+        "RPR005": (
+            "ok = x == 0.5\n",
+            "ok = x == 0.0\n",  # exact zero is the sanctioned sentinel
+        ),
+        "RPR006": (
+            "import numpy as np\n"
+            "def run(scale):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return rng\n",
+            "import numpy as np\n"
+            "def run(scale, seed=0):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng\n",
+        ),
+    }
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_bad_snippet_fires(self, code):
+        bad, _ = self.FIXTURES[code]
+        assert code in codes_of(bad)
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_good_snippet_clean(self, code):
+        _, good = self.FIXTURES[code]
+        assert code not in codes_of(good)
+
+    def test_every_registered_rule_has_a_fixture(self):
+        assert set(self.FIXTURES) == set(RULES)
+
+
+class TestRuleEdges:
+    def test_legacy_seed_call_flagged(self):
+        assert "RPR001" in codes_of("import numpy as np\nnp.random.seed(1)\n")
+
+    def test_numpy_alias_spelled_out(self):
+        assert "RPR001" in codes_of("import numpy\nnumpy.random.shuffle(x)\n")
+
+    def test_mutable_default_dict_call(self):
+        assert "RPR003" in codes_of("def f(cache=dict()):\n    return cache\n")
+
+    def test_keyword_only_mutable_default(self):
+        assert "RPR003" in codes_of("def f(*, cache={}):\n    return cache\n")
+
+    def test_float_ne_flagged(self):
+        assert "RPR005" in codes_of("bad = y != 1.5\n")
+
+    def test_int_equality_allowed(self):
+        assert codes_of("ok = x == 3\n") == []
+
+    def test_private_function_literal_seed_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def _names():\n"
+            "    return np.random.default_rng(0).random(3)\n"
+        )
+        assert "RPR006" not in codes_of(src)
+
+    def test_zero_arg_function_literal_seed_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def demo():\n"
+            "    return np.random.default_rng(0).random(3)\n"
+        )
+        assert "RPR006" not in codes_of(src)
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.code for f in findings] == ["RPR900"]
+
+
+class TestSuppression:
+    def test_blanket_noqa(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # repro: noqa\n"
+        assert lint_source(src) == []
+
+    def test_targeted_noqa(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[RPR001]\n"
+        )
+        assert lint_source(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[RPR005]\n"
+        )
+        assert [f.code for f in lint_source(src)] == ["RPR001"]
+
+    def test_multi_code_noqa(self):
+        src = "bad = x == 0.5  # repro: noqa[RPR001, RPR005]\n"
+        assert lint_source(src) == []
+
+
+class TestEngine:
+    def test_select_subset_of_rules(self):
+        src = "def f(a=[]):\n    return a == 0.5\n"
+        findings = lint_source(src, codes=["RPR003"])
+        assert [f.code for f in findings] == ["RPR003"]
+
+    def test_findings_sorted_by_location(self):
+        src = "bad = x == 0.5\ndef f(a=[]):\n    pass\n"
+        findings = lint_source(src)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("bad = x == 0.5\n")
+        (tmp_path / "pkg" / "clean.py").write_text("ok = x == 0.0\n")
+        findings = lint_paths([tmp_path])
+        assert len(findings) == 1
+        assert findings[0].path.endswith("mod.py")
+
+    def test_reporters(self):
+        findings = [Finding("a.py", 3, 1, "RPR004", "msg")]
+        assert "a.py:3:1: RPR004 msg" in report_text(findings)
+        payload = json.loads(report_json(findings))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["code"] == "RPR004"
+        assert "clean" in report_text([])
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_file_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main([str(target)]) == 1
+        assert "RPR004" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("bad = x == 2.5\n")
+        assert main(["--format", "json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_unknown_select_code(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["--select", "RPR999", str(target)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules", "."]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out

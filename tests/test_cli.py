@@ -136,3 +136,80 @@ class TestWorkflow:
         out = capsys.readouterr().out
         assert "before fine-tuning" in out
         assert (tmp_path / "tuned.npz").exists()
+
+
+class TestCheckModel:
+    """`repro check-model`: static validation, no forward pass."""
+
+    def test_valid_config_exits_zero(self, capsys):
+        code = main(["check-model", "--input-shape", "1,8,20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "total params" in out
+
+    def test_misshaped_config_rejected_naming_layer(self, capsys):
+        code = main(
+            [
+                "check-model",
+                "--input-shape",
+                "1,6,20",
+                "--pool-size",
+                "4,1",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "pool2" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(["check-model", "--input-shape", "1,8,20", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["output_shape"] == [2]
+        assert payload["total_params"] > 0
+        assert set(payload["footprint_bytes"]) == {"fp64", "fp32", "fp16", "int8"}
+
+    def test_reduced_precision_input_warns(self, capsys):
+        code = main(
+            ["check-model", "--input-shape", "1,8,20", "--dtype", "float32"]
+        )
+        assert code == 0
+        assert "promotes float32" in capsys.readouterr().out
+
+    def test_checkpoint_validation(self, tmp_path, capsys):
+        from repro.core.architecture import build_cnn_lstm
+        from repro.nn.checkpoint import save_model
+
+        model = build_cnn_lstm((1, 8, 12))
+        path = save_model(model, tmp_path / "model.npz")
+        code = main(
+            ["check-model", "--input-shape", "1,8,12", "--checkpoint", str(path)]
+        )
+        assert code == 0
+        # The same checkpoint cannot run on a shrunken feature axis.
+        code = main(
+            ["check-model", "--input-shape", "1,2,12", "--checkpoint", str(path)]
+        )
+        assert code == 1
+        assert "pool2" in capsys.readouterr().out
+
+    def test_arch_json_validation(self, tmp_path, capsys):
+        import json
+
+        arch = [
+            {"class": "Flatten", "config": {"name": "flat"}},
+            {"class": "LSTM", "config": {"name": "rec", "units": 4}},
+        ]
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(arch))
+        code = main(
+            ["check-model", "--input-shape", "2,3,4", "--arch-json", str(path)]
+        )
+        assert code == 1
+        assert "rec" in capsys.readouterr().out
+
+    def test_bad_shape_argument_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check-model", "--input-shape", "1,x,20"])

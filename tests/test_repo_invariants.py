@@ -1,0 +1,44 @@
+"""Tier-1 gate: the shipped tree satisfies its own static invariants.
+
+Runs the repo-invariant lint engine over ``src/repro`` and requires zero
+findings, so any future PR that introduces untracked randomness, mutable
+defaults, bare excepts, or exact float comparisons fails pytest before
+review.  Also pins the pre-flight contract: the paper architecture must
+always validate statically.
+"""
+
+from pathlib import Path
+
+from repro.analysis import validate_architecture
+from repro.analysis.lint import RULES, lint_paths
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir(), f"expected source tree at {SRC}"
+
+
+def test_lint_clean_over_src():
+    findings = lint_paths([SRC])
+    formatted = "\n".join(f.format_text() for f in findings)
+    assert not findings, f"repo invariants violated:\n{formatted}"
+
+
+def test_all_rules_enabled_by_default():
+    # The zero-findings gate above is only meaningful if no rule was
+    # silently dropped from the registry.
+    assert set(RULES) == {
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+    }
+
+
+def test_paper_architecture_always_validates():
+    report = validate_architecture((1, 8, 20))
+    assert report.output_shape == (2,)
+    assert report.total_params > 0
