@@ -111,6 +111,91 @@ def test_ablation_artifact_robustness(
     assert series[0.5][0] >= 0.3
 
 
+def _maps_with_channel_dropout(record, dataset_cfg, channel, rate, rng):
+    """Re-simulate the subject's trials with one channel partially dropped."""
+    from repro.datasets import PhysiologicalSimulator
+    from repro.resilience.faults import ChannelDropout, FaultPlan
+
+    sim = PhysiologicalSimulator(
+        dataset_cfg.fs_bvp, dataset_cfg.fs_gsr, dataset_cfg.fs_skt
+    )
+    fs = {
+        "bvp": dataset_cfg.fs_bvp,
+        "gsr": dataset_cfg.fs_gsr,
+        "skt": dataset_cfg.fs_skt,
+    }
+    fe = FeatureExtractor(
+        rates=SensorRates(bvp=fs["bvp"], gsr=fs["gsr"], skt=fs["skt"]),
+        window_seconds=dataset_cfg.window_seconds,
+    )
+    plan = FaultPlan(
+        f"sweep_{channel}_{rate}",
+        (ChannelDropout(channel, fraction=rate),) if rate > 0 else (),
+        seed=0,
+    )
+    maps = []
+    for trial in record.schedule.trials:
+        raw = sim.simulate_trial(
+            record.profile, trial.label, trial.duration_seconds, rng
+        )
+        corrupted = plan.apply_to_signals(raw, fs, rng=rng)
+        vectors = fe.extract_recording(
+            corrupted["bvp"], corrupted["gsr"], corrupted["skt"]
+        )
+        maps.append(
+            build_feature_map(
+                vectors[: dataset_cfg.windows_per_map],
+                label=trial.label,
+                subject_id=record.subject_id,
+            )
+        )
+    return maps
+
+
+def test_ablation_fault_severity_sweep(
+    subject_and_model, bench_dataset, benchmark
+):
+    """Accuracy vs channel-dropout severity, per modality.
+
+    The degradation curve behind the resilience runtime: how much
+    accuracy each modality's loss costs, and that a fully-dead channel
+    degrades the classifier instead of crashing it.
+    """
+    model, record = subject_and_model
+    cfg = bench_dataset.config
+    rates = (0.0, 0.25, 0.5, 0.75)
+    channels = ("bvp", "gsr", "skt")
+
+    def run():
+        series = {}
+        for channel in channels:
+            rng = np.random.default_rng(1)
+            for rate in rates:
+                maps = _maps_with_channel_dropout(record, cfg, channel, rate, rng)
+                series[(channel, rate)] = model.evaluate(maps)["accuracy"]
+        lines = ["Ablation -- accuracy vs channel-dropout severity"]
+        header = f"{'channel':>9}" + "".join(f"{r:>8.2f}" for r in rates)
+        lines.append(header)
+        for channel in channels:
+            lines.append(
+                f"{channel:>9}"
+                + "".join(f"{series[(channel, r)] * 100:>8.1f}" for r in rates)
+            )
+        return "\n".join(lines), series
+
+    text, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + text)
+
+    # Sweep must complete for every (modality, rate) cell without a
+    # crash and yield valid accuracies.
+    assert len(series) == len(rates) * len(channels)
+    assert all(0.0 <= acc <= 1.0 for acc in series.values())
+    # The uncorrupted column is the same stream regardless of channel.
+    baseline = {series[(c, 0.0)] for c in channels}
+    assert len(baseline) == 1
+    assert baseline.pop() >= 0.5
+
+
 def test_ablation_gc_algorithm(bench_dataset, benchmark):
     """k-means GC refinement vs agglomerative Ward on archetype purity."""
     maps_by = {s.subject_id: list(s.maps) for s in bench_dataset.subjects}

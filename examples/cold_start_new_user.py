@@ -7,6 +7,11 @@ how often the assignment matches where GC would place them with full
 data, and (b) the accuracy gap between the assigned cluster's model and
 the other clusters' models (the paper's RT CLEAR contrast).
 
+The demo ends with the degradation-aware path: when the assignment
+margin is too small to trust any single cluster checkpoint,
+``predict_with_health`` falls back to the population-average model and
+says so in its ``HealthStatus``.
+
 Run:  python examples/cold_start_new_user.py
 """
 
@@ -14,6 +19,7 @@ import numpy as np
 
 from repro.core import CLEAR, CLEARConfig
 from repro.datasets import SyntheticWEMAC, WEMACConfig
+from repro.resilience import DegradationPolicy
 from repro.signals import subject_signature
 
 
@@ -78,6 +84,37 @@ def main() -> None:
         f"mean accuracy: assigned {np.mean(assigned_accs):.2%} "
         f"vs foreign {np.mean(foreign_accs):.2%} "
         "(the RT CLEAR contrast from Table I)"
+    )
+
+    fallback_demo(system, record)
+
+
+def fallback_demo(system, record) -> None:
+    """Low-confidence assignment -> population-average fallback model."""
+    print("\n--- degradation-aware cold start ---")
+    maps = list(record.maps)
+
+    # Normal confidence: the cluster checkpoint is trusted.
+    preds, health = system.predict_with_health(maps)
+    print(
+        f"default policy:   state={health.state:<9} "
+        f"fallback={health.used_fallback_model} "
+        f"margin={health.assignment_margin:.3f}"
+    )
+
+    # Paranoid policy: demand an unattainable margin, forcing the
+    # population-average fallback (nobody's best model, everybody's
+    # safest) -- the HealthStatus says exactly why.
+    policy = DegradationPolicy(min_assignment_margin=1e6)
+    preds, health = system.predict_with_health(maps, policy=policy)
+    print(
+        f"paranoid policy:  state={health.state:<9} "
+        f"fallback={health.used_fallback_model} "
+        f"reasons={list(health.reasons)}"
+    )
+    print(
+        f"fallback predictions still valid: "
+        f"{np.bincount(preds, minlength=2)} (non-fear/fear counts)"
     )
 
 

@@ -17,11 +17,26 @@ Subpackages
     Quantization + device cost models for the Table-II edge experiments.
 ``repro.analysis``
     Static model/graph validator + repo-invariant lint engine.
+``repro.resilience``
+    Fault-injection harness + graceful-degradation runtime (typed
+    errors in :mod:`repro.errors`).
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, clustering, core, datasets, edge, experiments, nn, signals, viz
+from . import (
+    analysis,
+    clustering,
+    core,
+    datasets,
+    edge,
+    errors,
+    experiments,
+    nn,
+    resilience,
+    signals,
+    viz,
+)
 
 __all__ = [
     "analysis",
@@ -31,7 +46,9 @@ __all__ = [
     "clustering",
     "core",
     "edge",
+    "errors",
     "experiments",
+    "resilience",
     "viz",
     "__version__",
 ]

@@ -36,6 +36,10 @@ RPR006
     Public module-level function draws from a generator seeded with a
     hard-coded literal but exposes no ``rng``/``seed`` parameter — the
     randomness cannot be threaded from the experiment config.
+RPR007
+    Direct ``time.time()`` / ``time.sleep()`` in library code — wall
+    clocks make retries/backoff untestable and nondeterministic.  Use
+    the injectable clock from ``repro.resilience.retry`` instead.
 """
 
 from __future__ import annotations
@@ -324,6 +328,37 @@ class UnthreadedRngRule(LintRule):
                         f"{inner.args[0].value!r}; accept an rng/seed "
                         f"parameter so experiments can thread randomness",
                     )
+
+
+@register
+class WallClockRule(LintRule):
+    """RPR007: direct ``time.time()`` / ``time.sleep()`` calls.
+
+    Library code that reads or blocks on the wall clock cannot be
+    exercised deterministically; retries and backoff must run on the
+    injectable ``Clock`` from ``repro.resilience.retry`` (whose
+    ``MonotonicClock`` is the one sanctioned wrapper)."""
+
+    code = "RPR007"
+
+    _WALL_CLOCK_ATTRS = frozenset({"time", "sleep"})
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._WALL_CLOCK_ATTRS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"direct wall-clock call time.{node.func.attr}(); "
+                    f"inject a Clock from repro.resilience.retry so tests "
+                    f"can run on a FakeClock",
+                )
 
 
 # -- engine --------------------------------------------------------------

@@ -12,12 +12,14 @@ weighted normalization statistics are shared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import nn
+from ..errors import FederatedRoundError, RetryError
+from ..resilience.retry import Clock, RetryPolicy, retry_call
 from ..signals.feature_map import FeatureMap, FeatureNormalizer, maps_to_arrays
 from .architecture import build_cnn_lstm
 from .config import ModelConfig
@@ -112,12 +114,16 @@ class FederatedHistory:
 
     round_losses: List[float]
     clients_per_round: List[int]
+    failed_clients_per_round: List[List[int]] = field(default_factory=list)
 
 
 def federated_train_cluster(
     maps_by_client: Dict[int, Sequence[FeatureMap]],
     model_config: ModelConfig = None,
     config: FederatedConfig = None,
+    client_runner: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    clock: Optional[Clock] = None,
 ) -> Tuple[TrainedModel, FederatedHistory]:
     """Train one cluster's model with FedAvg across its member subjects.
 
@@ -127,6 +133,19 @@ def federated_train_cluster(
         Subject id -> that subject's labelled feature maps (each subject
         is one federated client; data stays in this mapping, only
         weights are aggregated).
+    client_runner:
+        Failure-injection hook called as ``client_runner(client_id,
+        x, y)`` before each client's local training; raising simulates
+        a crashed / unreachable client.
+    retry_policy / clock:
+        When a retry policy is given, a failing client is retried on
+        the injectable clock; a client that still fails is *skipped*
+        for the round (graceful degradation — FedAvg proceeds with the
+        survivors, and the skip is recorded in
+        ``history.failed_clients_per_round``).  Without a policy any
+        client exception propagates unchanged.  A round where every
+        sampled client fails raises
+        :class:`~repro.errors.FederatedRoundError`.
     """
     if not maps_by_client:
         raise ValueError("need at least one client")
@@ -156,27 +175,53 @@ def federated_train_cluster(
         sampled = rng.choice(client_ids, size=n_sampled, replace=False)
         updates: List[Tuple[int, List[Dict[str, np.ndarray]]]] = []
         losses: List[float] = []
+        failed: List[int] = []
         for client_id in sampled:
             x, y = client_arrays[client_id]
-            local = build_cnn_lstm(
-                input_shape, model_config, seed=config.seed + round_idx
+
+            def train_client(client_id=client_id, x=x, y=y):
+                if client_runner is not None:
+                    client_runner(client_id, x, y)
+                local = build_cnn_lstm(
+                    input_shape, model_config, seed=config.seed + round_idx
+                )
+                local.set_weights(global_weights)
+                local.compile(
+                    nn.SoftmaxCrossEntropy(),
+                    nn.Adam(lr=config.learning_rate, clipnorm=5.0),
+                )
+                local_history = local.fit(
+                    x,
+                    y,
+                    epochs=config.local_epochs,
+                    batch_size=min(config.batch_size, x.shape[0]),
+                )
+                return local_history.epochs[-1]["loss"], local.get_weights()
+
+            if retry_policy is None:
+                loss, weights = train_client()
+            else:
+                try:
+                    loss, weights = retry_call(
+                        train_client,
+                        policy=retry_policy,
+                        clock=clock,
+                        description=f"client {client_id} round {round_idx}",
+                    )
+                except RetryError:
+                    failed.append(int(client_id))
+                    continue
+            losses.append(loss)
+            updates.append((x.shape[0], weights))
+        if not updates:
+            raise FederatedRoundError(
+                f"round {round_idx}: all {len(sampled)} sampled client(s) "
+                f"failed after retries ({sorted(failed)})"
             )
-            local.set_weights(global_weights)
-            local.compile(
-                nn.SoftmaxCrossEntropy(),
-                nn.Adam(lr=config.learning_rate, clipnorm=5.0),
-            )
-            local_history = local.fit(
-                x,
-                y,
-                epochs=config.local_epochs,
-                batch_size=min(config.batch_size, x.shape[0]),
-            )
-            losses.append(local_history.epochs[-1]["loss"])
-            updates.append((x.shape[0], local.get_weights()))
         global_weights = _fedavg(updates)
         history.round_losses.append(float(np.mean(losses)))
-        history.clients_per_round.append(len(sampled))
+        history.clients_per_round.append(len(updates))
+        history.failed_clients_per_round.append(failed)
 
     global_model.set_weights(global_weights)
     return TrainedModel(model=global_model, normalizer=normalizer), history

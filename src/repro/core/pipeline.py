@@ -9,7 +9,7 @@ small labelled fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class CLEARSystem:
     subclusters: Dict[int, SubClusterModel]
     assigner: ColdStartAssigner
     cluster_models: Dict[int, TrainedModel]
+    _population: Optional[TrainedModel] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- edge-stage operations -------------------------------------------
     def assign_new_user(self, unlabeled_maps: Sequence[FeatureMap]) -> AssignmentResult:
@@ -42,6 +45,19 @@ class CLEARSystem:
             raise KeyError(f"no model for cluster {cluster}")
         return self.cluster_models[cluster]
 
+    def population_model(self) -> TrainedModel:
+        """The fallback checkpoint: average of every cluster model.
+
+        Built lazily (averaging weights is cheap but not free) and
+        cached; used when cold-start assignment confidence is too low
+        to trust any single cluster checkpoint.
+        """
+        if self._population is None:
+            from ..resilience.degradation import population_average_model
+
+            self._population = population_average_model(self.cluster_models)
+        return self._population
+
     def predict(
         self, maps: Sequence[FeatureMap], cluster: Optional[int] = None
     ) -> np.ndarray:
@@ -49,6 +65,110 @@ class CLEARSystem:
         if cluster is None:
             cluster = self.assign_new_user(maps).cluster
         return self.model_for(cluster).predict_classes(maps)
+
+    def predict_with_health(
+        self,
+        maps: Sequence[FeatureMap],
+        policy: Optional["DegradationPolicy"] = None,
+    ) -> Tuple[np.ndarray, "HealthStatus"]:
+        """Degradation-aware prediction: never NaN, never a bare crash.
+
+        The resilient twin of :meth:`predict`: non-finite feature-map
+        cells are imputed per the policy, the cold-start assignment is
+        only trusted when its margin clears
+        ``policy.min_assignment_margin`` (otherwise the
+        population-average fallback model predicts), and a model whose
+        output is non-finite triggers the same fallback.  The returned
+        :class:`~repro.resilience.degradation.HealthStatus` records
+        exactly which of those degradations happened.
+        """
+        from ..resilience.degradation import (
+            DEGRADED,
+            FALLBACK,
+            HEALTHY,
+            DegradationPolicy,
+            HealthStatus,
+            safe_probabilities,
+        )
+        from ..resilience.guards import impute_features, screen_features
+        from ..signals.feature_map import FeatureMap as _FeatureMap
+        from ..signals.feature_map import maps_to_arrays
+
+        maps = list(maps)
+        if not maps:
+            raise ValueError("need at least one feature map to predict")
+        policy = policy or DegradationPolicy()
+        reasons: List[str] = []
+
+        # 1. Screen + impute non-finite feature-map cells.
+        n_imputed = 0
+        sanitized: List[FeatureMap] = []
+        for fmap in maps:
+            flat = fmap.values.ravel()
+            screen = screen_features(flat)
+            if screen.finite:
+                sanitized.append(fmap)
+                continue
+            n_imputed += len(screen.bad_indices)
+            finite_mean = (
+                float(np.mean(flat[np.isfinite(flat)]))
+                if np.isfinite(flat).any()
+                else 0.0
+            )
+            clean = impute_features(
+                flat, screen.bad_indices, fill=finite_mean
+            ).reshape(fmap.values.shape)
+            sanitized.append(
+                _FeatureMap(clean, label=fmap.label, subject_id=fmap.subject_id)
+            )
+        if n_imputed:
+            reasons.append(f"non_finite_map_cells:{n_imputed}")
+
+        # 2. Cold-start assignment, gated on its confidence margin.
+        assignment = self.assign_new_user(sanitized)
+        margin = assignment.margin()
+        use_fallback = margin < policy.min_assignment_margin
+        if use_fallback:
+            reasons.append(
+                f"low_assignment_confidence:{margin:.4f}"
+                f"<{policy.min_assignment_margin}"
+            )
+        model = (
+            self.population_model()
+            if use_fallback
+            else self.model_for(assignment.cluster)
+        )
+
+        # 3. Predict, screening the output; a non-finite cluster output
+        # falls back to the population model before giving up.
+        def _probs(m: TrainedModel):
+            x, _ = maps_to_arrays(m.normalizer.transform_all(sanitized))
+            return safe_probabilities(m.model.predict(x))
+
+        probs, trustworthy = _probs(model)
+        if not trustworthy and not use_fallback:
+            reasons.append("non_finite_cluster_model_output")
+            use_fallback = True
+            probs, trustworthy = _probs(self.population_model())
+        if not trustworthy:
+            reasons.append("non_finite_fallback_output")
+        preds = np.argmax(probs, axis=1)
+
+        if use_fallback:
+            state = FALLBACK
+        elif reasons:
+            state = DEGRADED
+        else:
+            state = HEALTHY
+        health = HealthStatus(
+            state=state,
+            imputed_features=n_imputed,
+            assignment_margin=float(margin),
+            used_fallback_model=use_fallback,
+            checkpoint_ok=trustworthy,
+            reasons=tuple(reasons),
+        )
+        return preds, health
 
     def personalize(
         self,

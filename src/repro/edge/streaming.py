@@ -21,6 +21,16 @@ from typing import Deque, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.trainer import TrainedModel
+from ..resilience.degradation import (
+    ABSTAINED,
+    DEGRADED,
+    HEALTHY,
+    DegradationController,
+    DegradationPolicy,
+    HealthStatus,
+    safe_probabilities,
+)
+from ..resilience.guards import quality_gate
 from ..signals.feature_map import FeatureMap
 from ..signals.features import FeatureExtractor, SensorRates
 
@@ -84,10 +94,19 @@ class RingBuffer:
 
 @dataclass
 class WindowEvent:
-    """One emitted feature vector with its stream position."""
+    """One emitted feature vector with its stream position.
+
+    ``signals`` carries the raw per-channel window the vector came
+    from (for quality gating); ``error`` is set instead of ``features``
+    when extraction failed and the extractor runs with
+    ``capture_errors=True`` (corrupt input must surface as a gated
+    window, not a raw numpy traceback).
+    """
 
     index: int  # running window counter
-    features: np.ndarray  # (F,)
+    features: Optional[np.ndarray]  # (F,) — None if extraction failed
+    signals: Optional[Dict[str, np.ndarray]] = None
+    error: Optional[str] = None
 
 
 class StreamingFeatureExtractor:
@@ -104,7 +123,9 @@ class StreamingFeatureExtractor:
         rates: Optional[SensorRates] = None,
         window_seconds: float = 10.0,
         hop_seconds: Optional[float] = None,
+        capture_errors: bool = False,
     ):
+        self.capture_errors = bool(capture_errors)
         self.extractor = FeatureExtractor(
             rates=rates or SensorRates(), window_seconds=window_seconds
         )
@@ -142,12 +163,28 @@ class StreamingFeatureExtractor:
 
         events: List[WindowEvent] = []
         while self._ready():
-            vector = self.extractor.extract_window(
-                self._buffers["bvp"].latest(),
-                self._buffers["gsr"].latest(),
-                self._buffers["skt"].latest(),
+            window = {name: buf.latest() for name, buf in self._buffers.items()}
+            vector: Optional[np.ndarray] = None
+            error: Optional[str] = None
+            try:
+                vector = self.extractor.extract_window(
+                    window["bvp"], window["gsr"], window["skt"]
+                )
+            except Exception as exc:
+                # Corrupt samples (NaN bursts, flatlines) can break the
+                # DSP internals; with capture_errors the failure becomes
+                # a gated window instead of a raw traceback.
+                if not self.capture_errors:
+                    raise
+                error = f"{type(exc).__name__}: {exc}"
+            events.append(
+                WindowEvent(
+                    index=self._emitted,
+                    features=vector,
+                    signals=window,
+                    error=error,
+                )
             )
-            events.append(WindowEvent(index=self._emitted, features=vector))
             self._emitted += 1
             self._next_emit_time += self.hop_seconds
         return events
@@ -165,12 +202,19 @@ class StreamingFeatureExtractor:
 
 @dataclass
 class Detection:
-    """One smoothed classification decision."""
+    """One smoothed classification decision.
+
+    ``health`` and ``probabilities`` are populated when the detector
+    runs under a :class:`~repro.resilience.degradation.DegradationPolicy`;
+    probabilities are then guaranteed finite.
+    """
 
     window_index: int
     raw_prediction: int
     smoothed_prediction: int
     stream_time: float
+    probabilities: Optional[np.ndarray] = None
+    health: Optional[HealthStatus] = None
 
 
 class OnlineDetector:
@@ -189,6 +233,7 @@ class OnlineDetector:
         windows_per_map: int,
         streaming: StreamingFeatureExtractor,
         smoothing: int = 3,
+        policy: Optional[DegradationPolicy] = None,
     ):
         if windows_per_map < 1:
             raise ValueError("windows_per_map must be >= 1")
@@ -198,6 +243,14 @@ class OnlineDetector:
         self.windows_per_map = int(windows_per_map)
         self.streaming = streaming
         self.smoothing = int(smoothing)
+        self.policy = policy
+        self._controller = (
+            DegradationController(policy) if policy is not None else None
+        )
+        if policy is not None:
+            # Corrupt input must surface as a gated window; the policy
+            # path handles extraction failures explicitly.
+            streaming.capture_errors = True
         self._window_vectors: Deque[np.ndarray] = deque(maxlen=self.windows_per_map)
         self._recent_raw: Deque[int] = deque(maxlen=self.smoothing)
         self.detections: List[Detection] = []
@@ -211,27 +264,142 @@ class OnlineDetector:
         """Feed raw samples; returns any new (smoothed) detections."""
         new_detections: List[Detection] = []
         for event in self.streaming.push(bvp=bvp, gsr=gsr, skt=skt):
-            self._window_vectors.append(event.features)
-            if len(self._window_vectors) < self.windows_per_map:
-                continue
-            values = np.stack(self._window_vectors, axis=1)  # (F, W)
-            fmap = FeatureMap(values, label=0, subject_id=-1)
-            raw = int(self.model.predict_classes([fmap])[0])
-            self._recent_raw.append(raw)
-            votes = np.bincount(list(self._recent_raw), minlength=2)
-            smoothed = int(np.argmax(votes))
-            detection = Detection(
-                window_index=event.index,
-                raw_prediction=raw,
-                smoothed_prediction=smoothed,
-                stream_time=self.streaming.stream_time,
-            )
-            self.detections.append(detection)
-            new_detections.append(detection)
+            if self.policy is None:
+                detection = self._classify_plain(event)
+            else:
+                detection = self._classify_resilient(event)
+            if detection is not None:
+                self.detections.append(detection)
+                new_detections.append(detection)
         return new_detections
+
+    # -- plain path (no policy): identical to the pre-resilience runtime ----
+    def _classify_plain(self, event: WindowEvent) -> Optional[Detection]:
+        self._window_vectors.append(event.features)
+        if len(self._window_vectors) < self.windows_per_map:
+            return None
+        raw = int(self.model.predict_classes([self._current_map()])[0])
+        smoothed = self._smooth(raw)
+        return Detection(
+            window_index=event.index,
+            raw_prediction=raw,
+            smoothed_prediction=smoothed,
+            stream_time=self.streaming.stream_time,
+        )
+
+    # -- resilient path: gate, impute, abstain — and always report health --
+    def _classify_resilient(self, event: WindowEvent) -> Optional[Detection]:
+        ctrl = self._controller
+        policy = self.policy
+        reasons: List[str] = []
+        gated_channels: tuple = ()
+        quality_overall = 1.0
+
+        if event.signals is not None and all(
+            v.size >= 3 for v in event.signals.values()
+        ):
+            report = quality_gate(
+                event.signals,
+                self._rates,
+                min_overall=policy.min_quality,
+            )
+            quality_overall = report.overall
+            gated_channels = report.failing
+            if report.failing:
+                reasons.append(f"low_quality:{','.join(report.failing)}")
+
+        if event.features is None:
+            # Extraction itself failed; treat every channel as gated and
+            # impute the whole vector from history (or zeros).
+            reasons.append(f"extraction_error:{event.error}")
+            base = ctrl.running_mean
+            if base is None:
+                base = np.zeros(len(self.streaming.extractor.feature_names))
+            vector, n_imputed = ctrl.sanitize(base, ())
+            window_gated = True
+        else:
+            vector, n_imputed = ctrl.sanitize(event.features, gated_channels)
+            window_gated = bool(gated_channels) or (
+                n_imputed > 0 and policy.impute == "drop"
+            )
+            if n_imputed and not gated_channels:
+                reasons.append(f"non_finite_features:{n_imputed}")
+        if window_gated:
+            ctrl.record_window(True)
+        else:
+            ctrl.record_window(False)
+            ctrl.observe_clean(vector)
+
+        self._window_vectors.append(vector)
+        if len(self._window_vectors) < self.windows_per_map:
+            return None
+
+        state = HEALTHY
+        held = False
+        if ctrl.should_abstain():
+            reasons.append(
+                f"too_many_gated_windows:{ctrl.gated_recent_fraction:.2f}"
+            )
+            raw, probs = ctrl.abstain(reasons)
+            state, held = ABSTAINED, True
+        else:
+            x, _ = self._prepare_input()
+            logits = self.model.model.predict(x)
+            probs_row, trustworthy = safe_probabilities(logits)
+            probs = probs_row[0]
+            if not trustworthy:
+                reasons.append("non_finite_model_output")
+                raw, probs = ctrl.abstain(reasons)
+                state, held = ABSTAINED, True
+            else:
+                raw = int(np.argmax(probs))
+                ctrl.commit(raw, probs)
+                if window_gated or n_imputed:
+                    state = DEGRADED
+        smoothed = self._smooth(raw)
+        health = HealthStatus(
+            state=state,
+            gated_channels=tuple(gated_channels),
+            imputed_features=int(n_imputed),
+            quality_overall=float(quality_overall),
+            gated_recent_fraction=float(ctrl.gated_recent_fraction),
+            held_last_decision=held,
+            reasons=tuple(reasons),
+        )
+        return Detection(
+            window_index=event.index,
+            raw_prediction=raw,
+            smoothed_prediction=smoothed,
+            stream_time=self.streaming.stream_time,
+            probabilities=np.asarray(probs, dtype=np.float64),
+            health=health,
+        )
+
+    # -- shared helpers -----------------------------------------------------
+    @property
+    def _rates(self) -> Dict[str, float]:
+        r = self.streaming.extractor.rates
+        return {"bvp": r.bvp, "gsr": r.gsr, "skt": r.skt}
+
+    def _current_map(self) -> FeatureMap:
+        values = np.stack(self._window_vectors, axis=1)  # (F, W)
+        return FeatureMap(values, label=0, subject_id=-1)
+
+    def _prepare_input(self):
+        from ..signals.feature_map import maps_to_arrays
+
+        normalized = self.model.normalizer.transform_all([self._current_map()])
+        return maps_to_arrays(normalized)
+
+    def _smooth(self, raw: int) -> int:
+        self._recent_raw.append(int(raw))
+        votes = np.bincount(list(self._recent_raw), minlength=2)
+        return int(np.argmax(votes))
 
     def reset(self) -> None:
         """Forget stream state (e.g. when the wearable is re-donned)."""
         self._window_vectors.clear()
         self._recent_raw.clear()
         self.detections.clear()
+        if self._controller is not None:
+            self._controller.reset()

@@ -1,0 +1,58 @@
+"""Typed error hierarchy for the resilience layer.
+
+These live at the package root (not under :mod:`repro.resilience`) so
+that low-level modules — :mod:`repro.nn.checkpoint` in particular — can
+raise typed resilience errors without importing the resilience package,
+which itself depends on ``nn`` and ``signals`` (a cycle otherwise).
+
+The contract these types encode: when the edge runtime hits a realistic
+fault (dead sensor, truncated checkpoint, flaky federated client), it
+either raises one of these — never a bare ``KeyError`` or
+``zipfile.BadZipFile`` — or degrades gracefully and reports how in a
+:class:`~repro.resilience.degradation.HealthStatus`.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every typed failure the resilience layer raises."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is missing, truncated, corrupt, or fails its checksum."""
+
+
+class SignalQualityError(ResilienceError):
+    """A signal window was rejected by the quality gate in strict mode."""
+
+
+class FeatureGuardError(ResilienceError):
+    """A feature vector contained NaN/Inf and imputation was disabled."""
+
+
+class RetryError(ResilienceError):
+    """A retried operation exhausted its attempts or deadline.
+
+    Attributes
+    ----------
+    attempts:
+        How many times the operation was tried before giving up.
+    last_error:
+        The exception raised by the final attempt (also chained as
+        ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: Exception | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+
+
+class FederatedRoundError(ResilienceError):
+    """Every client in a federated round failed, even after retries."""

@@ -1,22 +1,32 @@
 """Model checkpointing: architecture as JSON, weights as .npz.
 
 A checkpoint is a single ``.npz`` file containing every parameter
-array, the architecture config serialized to JSON, and non-trainable
-layer state (e.g. BatchNorm running statistics).  This mirrors the
-paper's workflow of saving the best-performing cluster checkpoints on
-the cloud and shipping them to edge devices.
+array, the architecture config serialized to JSON, non-trainable layer
+state (e.g. BatchNorm running statistics), and a SHA-256 content
+checksum.  This mirrors the paper's workflow of saving the
+best-performing cluster checkpoints on the cloud and shipping them to
+edge devices — a shipment that can be truncated or bit-flipped in
+transit, which is why :func:`load_model` verifies the checksum and
+raises a typed :class:`~repro.errors.CheckpointError` (never a bare
+``KeyError`` or ``zipfile.BadZipFile``) on any malformed file.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
+from ..errors import CheckpointError
 from .layers import LAYER_REGISTRY
 from .model import Sequential
+
+#: Reserved array names inside a checkpoint .npz (not layer tensors).
+CONFIG_KEY = "__config__"
+CHECKSUM_KEY = "__checksum__"
 
 
 def model_to_config(model: Sequential) -> list:
@@ -42,12 +52,31 @@ def model_from_config(config: list, seed: int = 0) -> Sequential:
     return Sequential(layers, seed=seed)
 
 
+def compute_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape, and raw bytes.
+
+    The :data:`CHECKSUM_KEY` entry itself is excluded so the digest can
+    be recomputed from a loaded checkpoint and compared to the stored
+    value.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == CHECKSUM_KEY:
+            continue
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("ascii"))
+        digest.update(str(value.shape).encode("ascii"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
 def save_model(model: Sequential, path: Union[str, Path]) -> Path:
     """Write the model architecture + weights + state to ``path`` (.npz)."""
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    arrays = {"__config__": np.frombuffer(
+    arrays = {CONFIG_KEY: np.frombuffer(
         json.dumps(model_to_config(model)).encode("utf-8"), dtype=np.uint8
     )}
     for i, layer in enumerate(model.layers):
@@ -56,33 +85,82 @@ def save_model(model: Sequential, path: Union[str, Path]) -> Path:
         if hasattr(layer, "get_state"):
             for key, value in layer.get_state().items():
                 arrays[f"state/{i}/{key}"] = value
+    arrays[CHECKSUM_KEY] = np.frombuffer(
+        compute_checksum(arrays).encode("ascii"), dtype=np.uint8
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
     return path
 
 
-def load_model(path: Union[str, Path], seed: int = 0) -> Sequential:
+def _load_verified_arrays(
+    path: Path, verify_checksum: bool
+) -> Dict[str, np.ndarray]:
+    """Read every array out of the .npz, converting parse failures."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except Exception as exc:  # BadZipFile, OSError, ValueError, ...
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable or corrupt: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    if CONFIG_KEY not in arrays:
+        raise CheckpointError(
+            f"checkpoint {path} has no architecture config entry "
+            f"({CONFIG_KEY!r}); not a repro checkpoint or badly truncated"
+        )
+    if verify_checksum and CHECKSUM_KEY in arrays:
+        stored = bytes(arrays[CHECKSUM_KEY].tobytes()).decode(
+            "ascii", errors="replace"
+        )
+        actual = compute_checksum(arrays)
+        if stored != actual:
+            raise CheckpointError(
+                f"checkpoint {path} failed checksum verification "
+                f"(stored {stored[:12]}…, recomputed {actual[:12]}…); "
+                f"the file was corrupted after saving"
+            )
+    return arrays
+
+
+def load_model(
+    path: Union[str, Path], seed: int = 0, verify_checksum: bool = True
+) -> Sequential:
     """Load a model saved by :func:`save_model`; ready for inference.
 
     The returned model still needs :meth:`Sequential.compile` before
     further training (the optimizer is not checkpointed).
+
+    Raises
+    ------
+    CheckpointError
+        If the file is missing, not a valid ``.npz``, missing its
+        architecture entry, fails checksum verification, or its config
+        / tensors cannot be decoded.  Checkpoints written before
+        checksums existed (no :data:`CHECKSUM_KEY` entry) still load.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        config = json.loads(bytes(data["__config__"].tobytes()).decode("utf-8"))
+    if not path.is_file():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    arrays = _load_verified_arrays(path, verify_checksum)
+    try:
+        config = json.loads(
+            bytes(arrays[CONFIG_KEY].tobytes()).decode("utf-8")
+        )
         model = model_from_config(config, seed=seed)
         # Group arrays per layer index.
         params: dict = {}
         states: dict = {}
-        for name in data.files:
-            if name == "__config__":
+        for name, value in arrays.items():
+            if name in (CONFIG_KEY, CHECKSUM_KEY):
                 continue
             kind, idx, key = name.split("/", 2)
             idx = int(idx)
             if kind == "param":
-                params.setdefault(idx, {})[key] = data[name]
+                params.setdefault(idx, {})[key] = value
             elif kind == "state":
-                states.setdefault(idx, {})[key] = data[name]
+                states.setdefault(idx, {})[key] = value
         for idx, layer in enumerate(model.layers):
             if idx in params:
                 for key, value in params[idx].items():
@@ -94,4 +172,11 @@ def load_model(path: Union[str, Path], seed: int = 0) -> Sequential:
                 # were restored above, but _axes/_param_shape come from
                 # build, so trigger a build with a dummy if unbuilt.
                 layer.set_state(states[idx])
+    except CheckpointError:
+        raise
+    except Exception as exc:  # JSONDecodeError, KeyError, ValueError, ...
+        raise CheckpointError(
+            f"checkpoint {path} could not be decoded: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     return model

@@ -52,15 +52,18 @@ from .nonlinear import (
     zero_crossing_rate,
 )
 from .quality import (
+    AggregateQualityReport,
     QualityReport,
     assess_quality,
     clipping_fraction,
+    finite_fraction,
     flatline_fraction,
     inject_baseline_wander,
     inject_clipping,
     inject_dropout,
     inject_motion_spikes,
     quality_by_channel,
+    quality_report,
     spike_score,
 )
 from .skt import NUM_SKT_FEATURES, SKT_FEATURE_NAMES, extract_skt_features
@@ -122,12 +125,15 @@ __all__ = [
     "spectral_spread",
     "spectral_entropy",
     "hrv_band_powers",
+    "AggregateQualityReport",
     "QualityReport",
     "assess_quality",
+    "finite_fraction",
     "flatline_fraction",
     "clipping_fraction",
     "spike_score",
     "quality_by_channel",
+    "quality_report",
     "inject_motion_spikes",
     "inject_dropout",
     "inject_clipping",

@@ -11,7 +11,7 @@ signal quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -68,13 +68,24 @@ def inject_dropout(
     return x
 
 
-def inject_clipping(x: np.ndarray, fraction_of_range: float = 0.7) -> np.ndarray:
-    """Saturate the signal at a fraction of its dynamic range."""
+def inject_clipping(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    fraction_of_range: float = 0.7,
+    center_jitter: float = 0.05,
+) -> np.ndarray:
+    """Saturate the signal at a fraction of its dynamic range.
+
+    Like every injector in this module, ``rng`` is explicit — the
+    saturation band's center is jittered by up to ``center_jitter`` of
+    the range (real ADC rails are rarely symmetric around the median).
+    """
     x = np.asarray(x, dtype=np.float64).copy()
     if not 0.0 < fraction_of_range <= 1.0:
         raise ValueError("fraction_of_range must be in (0, 1]")
-    center = np.median(x)
-    half_range = 0.5 * (x.max() - x.min()) * fraction_of_range
+    full_range = x.max() - x.min()
+    center = np.median(x) + rng.uniform(-center_jitter, center_jitter) * full_range
+    half_range = 0.5 * full_range * fraction_of_range
     return np.clip(x, center - half_range, center + half_range)
 
 
@@ -104,12 +115,15 @@ class QualityReport:
 
     All component indices are in [0, 1], 1 = clean.  ``overall`` is the
     minimum (a window is only as good as its worst failure mode).
+    ``finite`` scores the fraction of NaN/Inf samples — a channel that
+    emits NaNs (dead sensor, I2C glitch) is scored, not crashed on.
     """
 
     flatline: float
     clipping: float
     spikes: float
     overall: float
+    finite: float = 1.0
 
     @property
     def acceptable(self) -> bool:
@@ -155,20 +169,46 @@ def spike_score(x: np.ndarray, z_threshold: float = 6.0) -> float:
     return float(np.mean(np.abs(d - np.median(d)) > z_threshold * sigma))
 
 
+def finite_fraction(x: np.ndarray) -> float:
+    """Fraction of samples that are finite (not NaN/Inf)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("signal too short for finiteness check")
+    return float(np.mean(np.isfinite(x)))
+
+
 def assess_quality(x: np.ndarray) -> QualityReport:
-    """Compute the quality report for one signal window."""
-    flat = flatline_fraction(x)
-    clip = clipping_fraction(x)
-    spikes = spike_score(x)
+    """Compute the quality report for one signal window.
+
+    NaN/Inf samples never crash the assessment: the indices are
+    computed over the finite samples (non-finite runs count against the
+    ``finite`` score, and a window with fewer than 3 finite samples is
+    scored 0 across the board).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    finite = finite_fraction(x)
+    good = x[np.isfinite(x)]
+    if good.size < 3:
+        return QualityReport(
+            flatline=0.0, clipping=0.0, spikes=0.0, overall=0.0, finite=0.0
+        )
+    flat = flatline_fraction(good)
+    clip = clipping_fraction(good)
+    spikes = spike_score(good)
     # Map raw fractions onto [0, 1] quality scores.  A clean signal has
     # near-zero fractions; scale so typical corruption drops the score
     # substantially.
     q_flat = float(np.clip(1.0 - 2.0 * flat, 0.0, 1.0))
     q_clip = float(np.clip(1.0 - 5.0 * clip, 0.0, 1.0))
     q_spikes = float(np.clip(1.0 - 20.0 * spikes, 0.0, 1.0))
-    overall = min(q_flat, q_clip, q_spikes)
+    q_finite = float(np.clip(1.0 - 5.0 * (1.0 - finite), 0.0, 1.0))
+    overall = min(q_flat, q_clip, q_spikes, q_finite)
     return QualityReport(
-        flatline=q_flat, clipping=q_clip, spikes=q_spikes, overall=overall
+        flatline=q_flat,
+        clipping=q_clip,
+        spikes=q_spikes,
+        overall=overall,
+        finite=q_finite,
     )
 
 
@@ -181,3 +221,104 @@ def quality_by_channel(
         "gsr": assess_quality(gsr),
         "skt": assess_quality(skt),
     }
+
+
+@dataclass
+class AggregateQualityReport:
+    """Gate decision for one multi-channel window.
+
+    ``channels`` holds the per-channel indices; ``failing`` lists the
+    channels whose overall score fell below ``min_overall``;
+    ``skewed`` lists channels whose duration (samples / fs) deviates
+    from the across-channel median by more than 5 % — the footprint of
+    sample loss or clock skew.  ``accept`` is the gate decision
+    downstream runtimes key on.
+    """
+
+    channels: Dict[str, QualityReport]
+    failing: Tuple[str, ...]
+    skewed: Tuple[str, ...]
+    overall: float
+    min_overall: float
+
+    @property
+    def accept(self) -> bool:
+        """True when no channel fails quality and durations agree."""
+        return not self.failing and not self.skewed
+
+    def to_dict(self) -> Dict:
+        """Machine-readable form (for logs / HealthStatus payloads)."""
+        return {
+            "accept": self.accept,
+            "overall": self.overall,
+            "failing": list(self.failing),
+            "skewed": list(self.skewed),
+            "channels": {
+                name: {
+                    "flatline": r.flatline,
+                    "clipping": r.clipping,
+                    "spikes": r.spikes,
+                    "finite": r.finite,
+                    "overall": r.overall,
+                }
+                for name, r in self.channels.items()
+            },
+        }
+
+
+def quality_report(
+    window_dict: Mapping[str, np.ndarray],
+    fs: Union[Mapping[str, float], float],
+    min_overall: float = 0.5,
+    max_duration_skew: float = 0.05,
+) -> AggregateQualityReport:
+    """Aggregate quality gate over one window of named channels.
+
+    Parameters
+    ----------
+    window_dict:
+        Channel name -> 1-D sample array for the same wall-clock span.
+    fs:
+        Sampling rates, either one rate for all channels or a mapping
+        per channel; used to compare channel durations (sample loss /
+        clock skew shows up as one channel covering less time).
+    min_overall:
+        A channel with ``overall`` below this lands in ``failing``.
+    max_duration_skew:
+        Relative duration deviation from the median beyond which a
+        channel lands in ``skewed``.
+    """
+    if not window_dict:
+        raise ValueError("window_dict must name at least one channel")
+    channels: Dict[str, QualityReport] = {}
+    durations: Dict[str, float] = {}
+    for name, samples in window_dict.items():
+        samples = np.asarray(samples, dtype=np.float64)
+        rate = float(fs[name]) if isinstance(fs, Mapping) else float(fs)
+        if rate <= 0:
+            raise ValueError(f"sampling rate for {name!r} must be positive")
+        durations[name] = samples.size / rate
+        if samples.size < 3:
+            channels[name] = QualityReport(
+                flatline=0.0, clipping=0.0, spikes=0.0, overall=0.0, finite=0.0
+            )
+        else:
+            channels[name] = assess_quality(samples)
+    failing = tuple(
+        name for name, r in channels.items() if r.overall < min_overall
+    )
+    median_duration = float(np.median(list(durations.values())))
+    skewed = tuple(
+        name
+        for name, d in durations.items()
+        if median_duration > 0
+        and abs(d - median_duration) / median_duration > max_duration_skew
+    )
+    overall = min(r.overall for r in channels.values())
+    return AggregateQualityReport(
+        channels=channels,
+        failing=failing,
+        skewed=skewed,
+        overall=overall,
+        min_overall=min_overall,
+    )

@@ -54,6 +54,10 @@ class TestRuleFixtures:
             "    rng = np.random.default_rng(seed)\n"
             "    return rng\n",
         ),
+        "RPR007": (
+            "import time\ndef wait():\n    time.sleep(0.1)\n",
+            "def wait(clock):\n    clock.sleep(0.1)\n",
+        ),
     }
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
@@ -108,6 +112,15 @@ class TestRuleEdges:
     def test_syntax_error_reported_not_raised(self):
         findings = lint_source("def broken(:\n")
         assert [f.code for f in findings] == ["RPR900"]
+
+    def test_time_time_flagged(self):
+        assert "RPR007" in codes_of("import time\nt0 = time.time()\n")
+
+    def test_perf_counter_allowed(self):
+        assert codes_of("import time\nt0 = time.perf_counter()\n") == []
+
+    def test_other_objects_sleep_allowed(self):
+        assert "RPR007" not in codes_of("worker.sleep(1)\nclock.time()\n")
 
 
 class TestSuppression:

@@ -1,10 +1,16 @@
-"""Tests for model checkpointing (save/load roundtrips)."""
+"""Tests for model checkpointing (save/load roundtrips + corruption)."""
 
 import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn.checkpoint import model_from_config, model_to_config
+from repro.errors import CheckpointError, ResilienceError
+from repro.nn.checkpoint import (
+    CHECKSUM_KEY,
+    compute_checksum,
+    model_from_config,
+    model_to_config,
+)
 
 
 def make_cnn_lstm(seed=0):
@@ -93,3 +99,78 @@ class TestSaveLoad:
         model.build((3,))
         path = nn.save_model(model, tmp_path / "a" / "b" / "ckpt.npz")
         assert path.exists()
+
+
+class TestCorruptCheckpoints:
+    """load_model on a bad file raises typed CheckpointError, never a
+    bare KeyError / zipfile.BadZipFile / json.JSONDecodeError."""
+
+    @pytest.fixture
+    def saved(self, tmp_path):
+        model = nn.Sequential([nn.Dense(4, name="d"), nn.Dense(2)], seed=0)
+        model.build((3,))
+        return nn.save_model(model, tmp_path / "ckpt.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nowhere.npz"):
+            nn.load_model(tmp_path / "nowhere.npz")
+
+    def test_truncated_file(self, saved):
+        raw = saved.read_bytes()
+        saved.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match=str(saved)):
+            nn.load_model(saved)
+
+    def test_bitflipped_file_fails_checksum(self, saved):
+        raw = bytearray(saved.read_bytes())
+        # savez stores uncompressed: flip bytes mid-file to hit tensor
+        # data without destroying the zip directory.
+        for offset in range(len(raw) // 2, len(raw) // 2 + 8):
+            raw[offset] ^= 0xFF
+        saved.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match=str(saved)):
+            nn.load_model(saved)
+
+    def test_garbage_file(self, saved):
+        saved.write_bytes(b"this was never an npz checkpoint")
+        with pytest.raises(CheckpointError, match="unreadable or corrupt"):
+            nn.load_model(saved)
+
+    def test_npz_without_config_entry(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, weights=np.ones(3))
+        with pytest.raises(CheckpointError, match="no architecture config"):
+            nn.load_model(path)
+
+    def test_error_is_typed_resilience_error(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            nn.load_model(tmp_path / "missing.npz")
+
+    def test_checksum_mismatch_reported(self, saved):
+        with np.load(saved, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        target = next(n for n in arrays if n.startswith("param/"))
+        arrays[target] = arrays[target] + 1.0
+        np.savez(saved, **arrays)
+        with pytest.raises(CheckpointError, match="checksum"):
+            nn.load_model(saved)
+
+    def test_checksum_skippable_for_legacy_checkpoints(self, saved):
+        # Pre-checksum checkpoints (no CHECKSUM_KEY) must still load.
+        with np.load(saved, allow_pickle=False) as data:
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name != CHECKSUM_KEY
+            }
+        np.savez(saved, **arrays)
+        model = nn.load_model(saved)
+        assert len(model.layers) == 2
+
+    def test_compute_checksum_ignores_checksum_entry(self):
+        arrays = {"param/0/w": np.arange(4.0)}
+        digest = compute_checksum(arrays)
+        arrays[CHECKSUM_KEY] = np.frombuffer(
+            digest.encode("ascii"), dtype=np.uint8
+        )
+        assert compute_checksum(arrays) == digest

@@ -1,0 +1,77 @@
+"""Shared resilience fixtures: one trained stream model, one fitted system.
+
+Both are expensive (real training on synthetic physiology), so they are
+package-scoped and shared across the whole chaos suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CLEAR,
+    CLEARConfig,
+    FineTuneConfig,
+    ModelConfig,
+    TrainingConfig,
+    train_on_maps,
+)
+from repro.datasets import FEAR, NON_FEAR, PhysiologicalSimulator, sample_subject
+from repro.signals import FeatureExtractor, SensorRates
+from repro.signals.feature_map import build_feature_map
+
+RATES = SensorRates(bvp=32.0, gsr=4.0, skt=4.0)
+FS = {"bvp": 32.0, "gsr": 4.0, "skt": 4.0}
+WINDOW_SECONDS = 8.0
+
+FAST_CFG = CLEARConfig(
+    num_clusters=4,
+    subclusters_per_cluster=2,
+    gc_refinements=3,
+    model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+    training=TrainingConfig(epochs=8, batch_size=8, early_stopping_patience=3),
+    fine_tuning=FineTuneConfig(epochs=4),
+    seed=0,
+)
+
+
+def make_stream_chunks(profile, label, seconds, rng, chunk_seconds=1.0):
+    """Simulate a trial and slice it into per-second sample chunks."""
+    sim = PhysiologicalSimulator(fs_bvp=32.0, fs_gsr=4.0, fs_skt=4.0)
+    raw = sim.simulate_trial(profile, label, seconds, rng)
+    chunks = []
+    for i in range(int(seconds / chunk_seconds)):
+        chunks.append(
+            {
+                "bvp": raw["bvp"][i * 32 : (i + 1) * 32],
+                "gsr": raw["gsr"][i * 4 : (i + 1) * 4],
+                "skt": raw["skt"][i * 4 : (i + 1) * 4],
+            }
+        )
+    return chunks
+
+
+@pytest.fixture(scope="package")
+def stream_model():
+    """Small CNN-LSTM trained on one simulated subject's windows."""
+    rng = np.random.default_rng(4)
+    profile = sample_subject(0, 0, rng, jitter=0.02)
+    sim = PhysiologicalSimulator(fs_bvp=32.0, fs_gsr=4.0, fs_skt=4.0)
+    fe = FeatureExtractor(rates=RATES, window_seconds=WINDOW_SECONDS)
+    maps = []
+    for label in (NON_FEAR, FEAR) * 8:
+        raw = sim.simulate_trial(profile, label, 32.0, rng)
+        vectors = fe.extract_recording(raw["bvp"], raw["gsr"], raw["skt"])
+        maps.append(build_feature_map(vectors, label=label, subject_id=0))
+    model = train_on_maps(
+        maps,
+        ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+        TrainingConfig(epochs=15, batch_size=8),
+        seed=0,
+    )
+    return model, profile
+
+
+@pytest.fixture(scope="package")
+def clear_system(tiny_maps_by_subject):
+    """A fitted CLEAR deployment (cloud stage) for cold-start chaos runs."""
+    return CLEAR(FAST_CFG).fit(tiny_maps_by_subject)

@@ -1,0 +1,86 @@
+"""Property test: the guarded detector never emits NaN/Inf, never crashes.
+
+Hypothesis composes arbitrary fault stacks (any channel, any severity,
+any seed) and streams them through a policy-guarded
+:class:`OnlineDetector`; whatever the corruption, every decision must
+carry finite probabilities and a populated health record.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import FEAR
+from repro.edge.streaming import OnlineDetector, StreamingFeatureExtractor
+from repro.resilience.degradation import DegradationPolicy
+from repro.resilience.faults import (
+    ChannelDropout,
+    ClockSkew,
+    FaultPlan,
+    Flatline,
+    MotionBurst,
+    NaNBurst,
+    SampleLoss,
+    ValueClipping,
+)
+
+from .conftest import FS, RATES, WINDOW_SECONDS, make_stream_chunks
+
+channels = st.sampled_from(["bvp", "gsr", "skt"])
+
+
+def frac(lo, hi):
+    return st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    )
+
+
+single_fault = st.one_of(
+    st.builds(ChannelDropout, channel=channels, fraction=frac(0.0, 1.0)),
+    st.builds(Flatline, channel=channels, value=frac(-5.0, 40.0)),
+    st.builds(NaNBurst, channel=channels, fraction=frac(0.01, 1.0)),
+    st.builds(SampleLoss, channel=channels, fraction=frac(0.0, 0.9)),
+    st.builds(ClockSkew, channel=channels, factor=frac(0.5, 1.5)),
+    st.builds(ValueClipping, channel=channels, fraction_of_range=frac(0.05, 1.0)),
+    st.builds(MotionBurst, channel=channels, rate_per_minute=frac(0.0, 120.0)),
+)
+
+
+@pytest.fixture(scope="module")
+def clean_chunks(stream_model):
+    """One fixed 24-second stream; each example corrupts a fresh copy."""
+    _, profile = stream_model
+    return make_stream_chunks(profile, FEAR, 24.0, np.random.default_rng(55))
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    faults=st.lists(single_fault, min_size=0, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_detector_survives_arbitrary_fault_stacks(
+    stream_model, clean_chunks, faults, seed
+):
+    model, _ = stream_model
+    plan = FaultPlan("property", tuple(faults), seed=seed)
+    fault_rng = plan.rng()
+    stream = StreamingFeatureExtractor(RATES, window_seconds=WINDOW_SECONDS)
+    detector = OnlineDetector(
+        model, windows_per_map=2, streaming=stream, policy=DegradationPolicy()
+    )
+    for chunk in clean_chunks:
+        corrupted = plan.apply_to_signals(chunk, FS, rng=fault_rng)
+        detector.push(**corrupted)
+
+    for detection in detector.detections:
+        assert detection.health is not None
+        assert detection.probabilities is not None
+        assert np.isfinite(detection.probabilities).all()
+        assert detection.probabilities.sum() == pytest.approx(1.0)
+        assert detection.raw_prediction in (0, 1)
+        assert detection.smoothed_prediction in (0, 1)

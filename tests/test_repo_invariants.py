@@ -35,6 +35,7 @@ def test_all_rules_enabled_by_default():
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     }
 
 
