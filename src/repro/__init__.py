@@ -20,6 +20,9 @@ Subpackages
 ``repro.resilience``
     Fault-injection harness + graceful-degradation runtime (typed
     errors in :mod:`repro.errors`).
+``repro.runtime``
+    Deterministic serial/parallel executors + content-addressed cache
+    for feature maps and trained-fold checkpoints.
 """
 
 __version__ = "1.0.0"
@@ -34,6 +37,7 @@ from . import (
     experiments,
     nn,
     resilience,
+    runtime,
     signals,
     viz,
 )
@@ -49,6 +53,7 @@ __all__ = [
     "errors",
     "experiments",
     "resilience",
+    "runtime",
     "viz",
     "__version__",
 ]

@@ -40,6 +40,11 @@ RPR007
     Direct ``time.time()`` / ``time.sleep()`` in library code — wall
     clocks make retries/backoff untestable and nondeterministic.  Use
     the injectable clock from ``repro.resilience.retry`` instead.
+RPR008
+    ``multiprocessing`` / ``concurrent.futures`` import outside
+    ``repro/runtime`` — ad-hoc process pools bypass the seed-spawning
+    executor layer, so parallel results silently stop being
+    bit-identical to serial ones.  Accept an ``Executor`` instead.
 """
 
 from __future__ import annotations
@@ -359,6 +364,51 @@ class WallClockRule(LintRule):
                     f"inject a Clock from repro.resilience.retry so tests "
                     f"can run on a FakeClock",
                 )
+
+
+@register
+class AdHocParallelismRule(LintRule):
+    """RPR008: multiprocessing/concurrent.futures outside repro/runtime.
+
+    Process pools spun up outside the runtime layer dispatch work without
+    pre-spawned per-unit seeds, so their results depend on scheduling and
+    are no longer bit-identical to a serial run.  All fan-out must go
+    through ``repro.runtime.Executor``; only ``repro/runtime`` itself may
+    touch the stdlib parallelism modules."""
+
+    code = "RPR008"
+
+    _BANNED_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+    @staticmethod
+    def _exempt(path: str) -> bool:
+        parts = Path(path).parts
+        return any(
+            part == "repro" and parts[i + 1] == "runtime"
+            for i, part in enumerate(parts[:-1])
+        )
+
+    def _msg(self, module: str) -> str:
+        return (
+            f"import of {module} outside repro/runtime; dispatch work "
+            f"through a repro.runtime.Executor so parallel runs stay "
+            f"bit-identical to serial ones"
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if self._exempt(path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in self._BANNED_ROOTS:
+                        yield self.finding(path, node, self._msg(alias.name))
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in self._BANNED_ROOTS:
+                    yield self.finding(
+                        path, node, self._msg(node.module or root)
+                    )
 
 
 # -- engine --------------------------------------------------------------

@@ -18,6 +18,7 @@ from .kmeans import (
     assign_to_centers,
     kmeans_plus_plus_init,
     pairwise_sq_distances,
+    reseed_empty_clusters,
 )
 from .metrics import (
     calinski_harabasz_index,
@@ -39,6 +40,7 @@ __all__ = [
     "KMeansResult",
     "kmeans_plus_plus_init",
     "pairwise_sq_distances",
+    "reseed_empty_clusters",
     "assign_to_centers",
     "silhouette_score",
     "davies_bouldin_index",

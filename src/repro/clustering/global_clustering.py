@@ -153,6 +153,24 @@ class GlobalClustering:
             if members.shape[0] > 0:
                 centroids[c] = members.mean(axis=0)
 
+        # Canonicalize cluster labels: order clusters by their smallest
+        # member subject id.  k-means labels are an arbitrary permutation
+        # of its restart seeding; pinning a canonical order makes every
+        # downstream artifact that keys off the cluster index (per-cluster
+        # training seeds, checkpoint files, report rows) invariant to the
+        # restart scheme.
+        order = sorted(
+            range(self.k),
+            key=lambda c: (
+                int(np.flatnonzero(labels == c)[0])
+                if np.any(labels == c)
+                else len(subject_ids) + c
+            ),
+        )
+        relabel = {old: new for new, old in enumerate(order)}
+        labels = np.array([relabel[int(c)] for c in labels], dtype=labels.dtype)
+        centroids = centroids[order]
+
         assignments = {
             subject_id: int(labels[i]) for i, subject_id in enumerate(subject_ids)
         }

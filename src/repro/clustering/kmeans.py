@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+from ..runtime.executor import Executor, SerialExecutor, spawn_seeds
 
 
 def pairwise_sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
@@ -42,6 +44,29 @@ def kmeans_plus_plus_init(
     return centers
 
 
+def reseed_empty_clusters(
+    x: np.ndarray, centers: np.ndarray, empty: List[int]
+) -> np.ndarray:
+    """Re-seed each empty cluster at the point farthest from any center.
+
+    Clusters are re-seeded *iteratively*: after each placement the
+    distances are recomputed against the partially updated centers and
+    the chosen point is excluded, so two clusters that empty in the
+    same Lloyd iteration land on two *different* far points instead of
+    colliding on the one farthest point of the stale center set.
+    """
+    centers = centers.copy()
+    taken: List[int] = []
+    for j in empty:
+        nearest = pairwise_sq_distances(x, centers).min(axis=1)
+        if taken:
+            nearest[taken] = -np.inf  # already claimed by a re-seed
+        farthest = int(nearest.argmax())
+        centers[j] = x[farthest]
+        taken.append(farthest)
+    return centers
+
+
 @dataclass
 class KMeansResult:
     """Outcome of one k-means fit."""
@@ -51,6 +76,47 @@ class KMeansResult:
     inertia: float  # sum of squared distances to assigned centers
     n_iter: int
     converged: bool
+
+
+def _lloyd_run(
+    x: np.ndarray,
+    k: int,
+    max_iter: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    """One k-means++ initialization followed by Lloyd iterations."""
+    centers = kmeans_plus_plus_init(x, k, rng)
+    converged = False
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        dists = pairwise_sq_distances(x, centers)
+        labels = dists.argmin(axis=1)
+        new_centers = centers.copy()
+        empty: List[int] = []
+        for j in range(k):
+            members = x[labels == j]
+            if members.shape[0] > 0:
+                new_centers[j] = members.mean(axis=0)
+            else:
+                empty.append(j)
+        if empty:
+            new_centers = reseed_empty_clusters(x, new_centers, empty)
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if shift < tol:
+            converged = True
+            break
+    dists = pairwise_sq_distances(x, centers)
+    labels = dists.argmin(axis=1)
+    inertia = float(dists[np.arange(x.shape[0]), labels].sum())
+    return KMeansResult(centers, labels, inertia, n_iter, converged)
+
+
+def _restart_unit(args: Tuple) -> KMeansResult:
+    """Executor work unit: one restart with its own spawned seed."""
+    x, k, max_iter, tol, seed = args
+    return _lloyd_run(x, k, max_iter, tol, np.random.default_rng(seed))
 
 
 class KMeans:
@@ -89,34 +155,19 @@ class KMeans:
     def _single_run(
         self, x: np.ndarray, rng: np.random.Generator
     ) -> KMeansResult:
-        centers = kmeans_plus_plus_init(x, self.k, rng)
-        labels = np.zeros(x.shape[0], dtype=np.int64)
-        converged = False
-        n_iter = 0
-        for n_iter in range(1, self.max_iter + 1):
-            dists = pairwise_sq_distances(x, centers)
-            labels = dists.argmin(axis=1)
-            new_centers = centers.copy()
-            for j in range(self.k):
-                members = x[labels == j]
-                if members.shape[0] > 0:
-                    new_centers[j] = members.mean(axis=0)
-                else:
-                    # Re-seed an empty cluster at the farthest point.
-                    farthest = int(dists.min(axis=1).argmax())
-                    new_centers[j] = x[farthest]
-            shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
-            centers = new_centers
-            if shift < self.tol:
-                converged = True
-                break
-        dists = pairwise_sq_distances(x, centers)
-        labels = dists.argmin(axis=1)
-        inertia = float(dists[np.arange(x.shape[0]), labels].sum())
-        return KMeansResult(centers, labels, inertia, n_iter, converged)
+        return _lloyd_run(x, self.k, self.max_iter, self.tol, rng)
 
-    def fit(self, x: np.ndarray) -> KMeansResult:
-        """Run ``n_init`` restarts and return the best result."""
+    def fit(
+        self, x: np.ndarray, executor: Optional[Executor] = None
+    ) -> KMeansResult:
+        """Run ``n_init`` restarts and return the best result.
+
+        Each restart draws from its own ``SeedSequence``-spawned
+        generator, so the restarts are independent work units: fanning
+        them out through a
+        :class:`~repro.runtime.executor.ParallelExecutor` is
+        bit-identical to the default serial run.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError(f"expected (n, F) data, got shape {x.shape}")
@@ -124,11 +175,15 @@ class KMeans:
             raise ValueError(
                 f"cannot make {self.k} clusters from {x.shape[0]} samples"
             )
-        rng = np.random.default_rng(self.seed)
-        best: Optional[KMeansResult] = None
-        for _ in range(self.n_init):
-            result = self._single_run(x, rng)
-            if best is None or result.inertia < best.inertia:
+        executor = executor or SerialExecutor()
+        seeds = spawn_seeds(self.seed, self.n_init)
+        units = [
+            (x, self.k, self.max_iter, self.tol, seed) for seed in seeds
+        ]
+        results = executor.map(_restart_unit, units)
+        best = results[0]  # n_init >= 1 is enforced at construction
+        for result in results[1:]:
+            if result.inertia < best.inertia:
                 best = result
         return best
 

@@ -9,7 +9,8 @@ small labelled fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,9 +18,10 @@ from ..analysis.graph import validate_architecture
 from ..clustering.assignment import AssignmentResult, ColdStartAssigner
 from ..clustering.global_clustering import GlobalClustering, GlobalClusteringResult
 from ..clustering.subclusters import SubClusterModel, build_subclusters
+from ..runtime.executor import Executor, RuntimeStats, SerialExecutor
 from ..signals.feature_map import FeatureMap
-from .config import CLEARConfig
-from .trainer import TrainedModel, fine_tune, train_on_maps
+from .config import CLEARConfig, ModelConfig, TrainingConfig
+from .trainer import TrainedModel, fine_tune, train_on_maps_cached
 
 
 @dataclass
@@ -31,6 +33,8 @@ class CLEARSystem:
     subclusters: Dict[int, SubClusterModel]
     assigner: ColdStartAssigner
     cluster_models: Dict[int, TrainedModel]
+    #: How the cloud stage ran: executor shape + checkpoint-cache counters.
+    runtime: Optional[RuntimeStats] = None
     _population: Optional[TrainedModel] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -190,11 +194,55 @@ class CLEARSystem:
         return self.gc.cluster_sizes()
 
 
-class CLEAR:
-    """Trainer for the cloud stage of the CLEAR methodology."""
+def _train_cluster_unit(
+    args: Tuple[
+        int, List[FeatureMap], ModelConfig, TrainingConfig, int, Optional[str]
+    ],
+) -> Tuple[int, TrainedModel, int, int]:
+    """Executor work unit: pre-train (or cache-load) one cluster model.
 
-    def __init__(self, config: Optional[CLEARConfig] = None):
+    Returns ``(cluster, model, cache_hits, cache_misses)``; the counters
+    ride back with the result because a forked worker's cache handle
+    cannot update the parent's.
+    """
+    cluster, member_maps, model_config, training, seed, cache_dir = args
+    model, hits, misses = train_on_maps_cached(
+        member_maps,
+        model_config=model_config,
+        training=training,
+        seed=seed,
+        cache_dir=cache_dir,
+    )
+    return cluster, model, hits, misses
+
+
+class CLEAR:
+    """Trainer for the cloud stage of the CLEAR methodology.
+
+    Parameters
+    ----------
+    config:
+        The methodology configuration (defaults to the paper's).
+    executor:
+        Where per-cluster pre-training runs; each cluster is an
+        independent work unit with its own derived seed
+        (``config.seed + cluster``), so a parallel fit is bit-identical
+        to the default serial one.
+    cache_dir:
+        Root of the content-addressed runtime cache.  Cluster
+        checkpoints are keyed by training-map bytes + model/training
+        config + seed; a warm fit skips pre-training entirely.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CLEARConfig] = None,
+        executor: Optional[Executor] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
         self.config = config or CLEARConfig()
+        self.executor = executor or SerialExecutor()
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
 
     def fit(
         self, maps_by_subject: Dict[int, Sequence[FeatureMap]]
@@ -207,7 +255,10 @@ class CLEAR:
             The initial (pre-deployment) population: subject id to that
             subject's labelled feature maps.
         """
+        import time as _time
+
         cfg = self.config
+        t0 = _time.perf_counter()
 
         # Pre-flight: validate the architecture against the population's
         # feature-map shape once, statically, so a bad config is rejected
@@ -233,7 +284,7 @@ class CLEAR:
         )
         assigner = ColdStartAssigner(gc, subclusters)
 
-        cluster_models: Dict[int, TrainedModel] = {}
+        units = []
         for cluster in range(cfg.num_clusters):
             member_ids = gc.members(cluster)
             member_maps = [
@@ -244,12 +295,29 @@ class CLEAR:
                     f"cluster {cluster} has too few maps ({len(member_maps)}) "
                     "to train a model"
                 )
-            cluster_models[cluster] = train_on_maps(
-                member_maps,
-                model_config=cfg.model,
-                training=cfg.training,
-                seed=cfg.seed + cluster,
+            units.append(
+                (
+                    cluster,
+                    member_maps,
+                    cfg.model,
+                    cfg.training,
+                    cfg.seed + cluster,
+                    self.cache_dir,
+                )
             )
+
+        stats = RuntimeStats(
+            executor=self.executor.name,
+            workers=self.executor.workers,
+            units=len(units),
+        )
+        cluster_models: Dict[int, TrainedModel] = {}
+        for cluster, model, hits, misses in self.executor.map(
+            _train_cluster_unit, units
+        ):
+            cluster_models[cluster] = model
+            stats.merge_counts(hits, misses)
+        stats.wall_time_s = _time.perf_counter() - t0
 
         return CLEARSystem(
             config=cfg,
@@ -257,4 +325,5 @@ class CLEAR:
             subclusters=subclusters,
             assigner=assigner,
             cluster_models=cluster_models,
+            runtime=stats,
         )

@@ -7,6 +7,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..runtime.executor import RuntimeStats
+
 
 @dataclass
 class FoldMetrics:
@@ -28,6 +30,10 @@ class MetricSummary:
 
     name: str
     folds: List[FoldMetrics] = field(default_factory=list)
+    #: How the folds behind this summary ran (executor shape, cache
+    #: hit/miss counters); None when the producer predates the runtime
+    #: layer or the summary was assembled by hand.
+    runtime: Optional[RuntimeStats] = None
 
     def add(self, fold: FoldMetrics) -> None:
         self.folds.append(fold)

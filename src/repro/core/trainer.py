@@ -108,6 +108,47 @@ def train_on_maps(
     return TrainedModel(model=model, normalizer=normalizer)
 
 
+def maps_content(maps: Sequence[FeatureMap]) -> List[Tuple]:
+    """Canonical content tuple per map, for content-addressed cache keys."""
+    return [(m.values, int(m.label), int(m.subject_id)) for m in maps]
+
+
+def train_on_maps_cached(
+    train_maps: Sequence[FeatureMap],
+    model_config: Optional[ModelConfig] = None,
+    training: Optional[TrainingConfig] = None,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+) -> Tuple[TrainedModel, int, int]:
+    """:func:`train_on_maps` behind the content-addressed checkpoint cache.
+
+    Returns ``(model, cache_hits, cache_misses)``.  The key is SHA-256
+    over the training-map bytes plus the full model/training config and
+    seed, so a warm cache returns the *identical* trained checkpoint
+    and any config or data change re-trains transparently.  With
+    ``cache_dir=None`` this is plain training with zeroed counters.
+    """
+    if cache_dir is None:
+        return train_on_maps(train_maps, model_config, training, seed=seed), 0, 0
+
+    from ..runtime.cache import checkpoint_cache
+
+    cache = checkpoint_cache(cache_dir)
+    key = cache.key(
+        "trained_fold.v1",
+        maps_content(list(train_maps)),
+        model_config or ModelConfig(),
+        training or TrainingConfig(),
+        seed,
+    )
+    cached = cache.load_object(key)
+    if cached is not None:
+        return cached, 1, 0
+    model = train_on_maps(train_maps, model_config, training, seed=seed)
+    cache.store_object(key, model)
+    return model, 0, 1
+
+
 def fine_tune(
     base: TrainedModel,
     labeled_maps: Sequence[FeatureMap],

@@ -12,22 +12,32 @@ Protocols (paper §IV-B):
   data; the assigned cluster's checkpoint is evaluated on V_x's
   remaining data (**CLEAR w/o FT**), other clusters' checkpoints give
   **RT CLEAR**, and fine-tuning with 20 % labels gives **CLEAR w FT**.
+
+Every protocol's folds are independent work units dispatched through a
+:class:`~repro.runtime.executor.Executor`: each fold carries its own
+``SeedSequence``-spawned RNG, so a parallel run is bit-identical to the
+default serial one, and a ``cache_dir`` routes fold training through
+the content-addressed checkpoint cache (counters surfaced on the
+result's ``runtime`` stats).
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.loaders import split_maps_by_fraction
 from ..datasets.wemac import WEMACDataset
+from ..runtime.executor import Executor, RuntimeStats, SerialExecutor, spawn_seeds
 from ..signals.feature_map import FeatureMap
 from .config import CLEARConfig
 from .pipeline import CLEAR, CLEARSystem
 from .results import FoldMetrics, MetricSummary
-from .trainer import TrainedModel, fine_tune, train_on_maps
+from .trainer import fine_tune, train_on_maps_cached
 
 
 def _maps_by_subject(
@@ -40,11 +50,39 @@ def _maps_by_subject(
     }
 
 
+def _runtime_stats(executor: Executor, units: int) -> RuntimeStats:
+    return RuntimeStats(
+        executor=executor.name, workers=executor.workers, units=units
+    )
+
+
+# -- general model --------------------------------------------------------
+
+def _general_fold_unit(args: Tuple) -> Tuple[FoldMetrics, int, int]:
+    """One intra-group LOSO fold of the no-clustering baseline."""
+    fold_id, train_maps, test_maps, config, cache_dir = args
+    model, hits, misses = train_on_maps_cached(
+        train_maps,
+        model_config=config.model,
+        training=config.training,
+        seed=config.seed,
+        cache_dir=cache_dir,
+    )
+    metrics = model.evaluate(test_maps)
+    return (
+        FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=fold_id),
+        hits,
+        misses,
+    )
+
+
 def evaluate_general_model(
     dataset: WEMACDataset,
     config: Optional[CLEARConfig] = None,
     group_size: Optional[int] = None,
     max_folds: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> MetricSummary:
     """The no-clustering baseline: one model for a random group.
 
@@ -52,6 +90,8 @@ def evaluate_general_model(
     how the paper chose x = 11 for fair comparison.
     """
     config = config or CLEARConfig()
+    executor = executor or SerialExecutor()
+    cache_dir = None if cache_dir is None else str(cache_dir)
     rng = np.random.default_rng(config.seed)
     if group_size is None:
         group_size = max(2, dataset.num_subjects // config.num_clusters)
@@ -62,23 +102,27 @@ def evaluate_general_model(
     idx = rng.choice(dataset.num_subjects, size=group_size, replace=False)
     group = [dataset.subjects[i] for i in idx]
 
-    summary = MetricSummary("General Model")
     folds = group if max_folds is None else group[:max_folds]
+    units = []
     for held_out in folds:
         train_maps = [
             m for s in group if s.subject_id != held_out.subject_id for m in s.maps
         ]
-        model = train_on_maps(
-            train_maps, config.model, config.training, seed=config.seed
+        units.append(
+            (held_out.subject_id, train_maps, list(held_out.maps), config, cache_dir)
         )
-        metrics = model.evaluate(held_out.maps)
-        summary.add(
-            FoldMetrics(
-                metrics["accuracy"], metrics["f1"], fold_id=held_out.subject_id
-            )
-        )
+
+    t0 = _time.perf_counter()
+    stats = _runtime_stats(executor, len(units))
+    summary = MetricSummary("General Model", runtime=stats)
+    for fold, hits, misses in executor.map(_general_fold_unit, units):
+        summary.add(fold)
+        stats.merge_counts(hits, misses)
+    stats.wall_time_s = _time.perf_counter() - t0
     return summary
 
+
+# -- CL validation --------------------------------------------------------
 
 @dataclass
 class CLValidationResult:
@@ -87,12 +131,36 @@ class CLValidationResult:
     cl: MetricSummary
     rt_cl: MetricSummary
     cluster_sizes: List[int] = field(default_factory=list)
+    runtime: Optional[RuntimeStats] = None
+
+
+def _cl_fold_unit(
+    args: Tuple,
+) -> Tuple[FoldMetrics, Optional[FoldMetrics], int, int]:
+    """One intra-cluster LOSO fold plus its cross-cluster RT evaluation."""
+    held_out, train_maps, test_maps, outside_maps, config, cache_dir = args
+    model, hits, misses = train_on_maps_cached(
+        train_maps,
+        model_config=config.model,
+        training=config.training,
+        seed=config.seed,
+        cache_dir=cache_dir,
+    )
+    metrics = model.evaluate(test_maps)
+    cl_fold = FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=held_out)
+    rt_fold = None
+    if outside_maps:
+        rt = model.evaluate(outside_maps)
+        rt_fold = FoldMetrics(rt["accuracy"], rt["f1"], fold_id=held_out)
+    return cl_fold, rt_fold, hits, misses
 
 
 def cl_validation(
     dataset: WEMACDataset,
     config: Optional[CLEARConfig] = None,
     max_folds: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> CLValidationResult:
     """Cluster the full population, then intra-cluster LOSO per cluster.
 
@@ -102,6 +170,8 @@ def cl_validation(
     structure.
     """
     config = config or CLEARConfig()
+    executor = executor or SerialExecutor()
+    cache_dir = None if cache_dir is None else str(cache_dir)
     maps_by = _maps_by_subject(dataset)
 
     from ..clustering.global_clustering import GlobalClustering
@@ -113,9 +183,7 @@ def cl_validation(
         seed=config.seed,
     ).fit(maps_by)
 
-    cl_summary = MetricSummary("CL validation")
-    rt_summary = MetricSummary("RT CL")
-    folds_done = 0
+    units = []
     for cluster in range(config.num_clusters):
         member_ids = gc.members(cluster)
         outside_maps = [
@@ -125,30 +193,36 @@ def cl_validation(
             for m in maps
         ]
         for held_out in member_ids:
-            if max_folds is not None and folds_done >= max_folds:
+            if max_folds is not None and len(units) >= max_folds:
                 break
             train_maps = [
                 m for sid in member_ids if sid != held_out for m in maps_by[sid]
             ]
             if len(train_maps) < 2:
                 continue  # singleton cluster: no intra-cluster LOSO possible
-            model = train_on_maps(
-                train_maps, config.model, config.training, seed=config.seed
+            units.append(
+                (held_out, train_maps, maps_by[held_out], outside_maps, config, cache_dir)
             )
-            metrics = model.evaluate(maps_by[held_out])
-            cl_summary.add(
-                FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=held_out)
-            )
-            if outside_maps:
-                rt = model.evaluate(outside_maps)
-                rt_summary.add(
-                    FoldMetrics(rt["accuracy"], rt["f1"], fold_id=held_out)
-                )
-            folds_done += 1
+
+    t0 = _time.perf_counter()
+    stats = _runtime_stats(executor, len(units))
+    cl_summary = MetricSummary("CL validation", runtime=stats)
+    rt_summary = MetricSummary("RT CL", runtime=stats)
+    for cl_fold, rt_fold, hits, misses in executor.map(_cl_fold_unit, units):
+        cl_summary.add(cl_fold)
+        if rt_fold is not None:
+            rt_summary.add(rt_fold)
+        stats.merge_counts(hits, misses)
+    stats.wall_time_s = _time.perf_counter() - t0
     return CLValidationResult(
-        cl=cl_summary, rt_cl=rt_summary, cluster_sizes=gc.cluster_sizes()
+        cl=cl_summary,
+        rt_cl=rt_summary,
+        cluster_sizes=gc.cluster_sizes(),
+        runtime=stats,
     )
 
+
+# -- CLEAR validation -----------------------------------------------------
 
 @dataclass
 class CLEARValidationResult:
@@ -159,6 +233,72 @@ class CLEARValidationResult:
     with_ft: Optional[MetricSummary]
     assignments: Dict[int, int] = field(default_factory=dict)
     assignment_matches_gc: Dict[int, bool] = field(default_factory=dict)
+    runtime: Optional[RuntimeStats] = None
+
+
+def _clear_fold_unit(args: Tuple) -> Dict[str, object]:
+    """One full-pipeline CLEAR LOSO fold (steps 1-4 for volunteer V_x)."""
+    v_x, record_maps, maps_by, config, seed, with_ft, cache_dir = args
+    rng = np.random.default_rng(seed)
+    system = CLEAR(config, cache_dir=cache_dir).fit(maps_by)
+
+    # Step 2: unsupervised cold-start assignment from 10 % of data.
+    ca_maps, held_back = split_maps_by_fraction(
+        record_maps, config.ca_data_fraction, rng, stratified=False
+    )
+    assignment = system.assign_new_user(ca_maps)
+    cluster = assignment.cluster
+    # Diagnostic: does CA match where GC would place this user with
+    # full data?  (Not used by the pipeline; reported for analysis.)
+    from ..signals.feature_map import subject_signature
+
+    match = cluster == system.gc.assign_signature(subject_signature(record_maps))
+
+    # Step 3: evaluate without fine-tuning + robustness test.
+    metrics = system.model_for(cluster).evaluate(held_back)
+    wo_fold = FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=v_x)
+    rt_fold = None
+    other_metrics = []
+    for other in range(config.num_clusters):
+        if other == cluster:
+            continue
+        other_metrics.append(system.model_for(other).evaluate(held_back))
+    if other_metrics:
+        rt_fold = FoldMetrics(
+            float(np.mean([m["accuracy"] for m in other_metrics])),
+            float(np.mean([m["f1"] for m in other_metrics])),
+            fold_id=v_x,
+        )
+
+    # Step 4: fine-tune with 20 % labels, test on the rest.
+    ft_fold = None
+    if with_ft:
+        ft_fraction = config.ft_label_fraction / (1.0 - config.ca_data_fraction)
+        ft_maps, test_maps = split_maps_by_fraction(
+            held_back, ft_fraction, rng, stratified=True
+        )
+        tuned = fine_tune(
+            system.model_for(cluster),
+            ft_maps,
+            config.fine_tuning,
+            seed=config.seed,
+        )
+        ft_metrics = tuned.evaluate(test_maps)
+        ft_fold = FoldMetrics(
+            ft_metrics["accuracy"], ft_metrics["f1"], fold_id=v_x
+        )
+
+    fit_stats = system.runtime
+    return {
+        "v_x": v_x,
+        "cluster": cluster,
+        "match": match,
+        "wo": wo_fold,
+        "rt": rt_fold,
+        "ft": ft_fold,
+        "hits": 0 if fit_stats is None else fit_stats.cache_hits,
+        "misses": 0 if fit_stats is None else fit_stats.cache_misses,
+    }
 
 
 def clear_validation(
@@ -166,6 +306,8 @@ def clear_validation(
     config: Optional[CLEARConfig] = None,
     with_fine_tuning: bool = True,
     max_folds: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> CLEARValidationResult:
     """Full CLEAR LOSO: cold-start assignment + optional fine-tuning.
 
@@ -179,70 +321,54 @@ def clear_validation(
        maps gives RT CLEAR.
     4. ``ft_label_fraction`` (20 %) of maps fine-tune the checkpoint;
        evaluation on the remainder gives CLEAR w FT.
+
+    Each fold draws from its own spawned RNG (fold *i* always sees the
+    same stream, whatever executor runs it and whatever ``max_folds``
+    prefix is selected), so results are bit-identical serial vs
+    parallel.  With ``cache_dir`` the per-fold cluster pre-training
+    goes through the checkpoint cache, which makes warm re-validation
+    orders of magnitude faster.
     """
     config = config or CLEARConfig()
-    rng = np.random.default_rng(config.seed)
+    executor = executor or SerialExecutor()
+    cache_dir = None if cache_dir is None else str(cache_dir)
 
-    wo_ft = MetricSummary("CLEAR w/o FT")
-    rt = MetricSummary("RT CLEAR")
-    w_ft = MetricSummary("CLEAR w FT") if with_fine_tuning else None
+    subjects = dataset.subjects if max_folds is None else dataset.subjects[:max_folds]
+    seeds = spawn_seeds(config.seed, len(subjects))
+    units = []
+    for record, seed in zip(subjects, seeds):
+        units.append(
+            (
+                record.subject_id,
+                list(record.maps),
+                _maps_by_subject(dataset, exclude=record.subject_id),
+                config,
+                seed,
+                with_fine_tuning,
+                cache_dir,
+            )
+        )
+
+    t0 = _time.perf_counter()
+    stats = _runtime_stats(executor, len(units))
+    wo_ft = MetricSummary("CLEAR w/o FT", runtime=stats)
+    rt = MetricSummary("RT CLEAR", runtime=stats)
+    w_ft = (
+        MetricSummary("CLEAR w FT", runtime=stats) if with_fine_tuning else None
+    )
     assignments: Dict[int, int] = {}
     matches: Dict[int, bool] = {}
 
-    subjects = dataset.subjects if max_folds is None else dataset.subjects[:max_folds]
-    for record in subjects:
-        v_x = record.subject_id
-        maps_by = _maps_by_subject(dataset, exclude=v_x)
-        system = CLEAR(config).fit(maps_by)
-
-        # Step 2: unsupervised cold-start assignment from 10 % of data.
-        ca_maps, held_back = split_maps_by_fraction(
-            record.maps, config.ca_data_fraction, rng, stratified=False
-        )
-        assignment = system.assign_new_user(ca_maps)
-        cluster = assignment.cluster
-        assignments[v_x] = cluster
-        # Diagnostic: does CA match where GC would place this user with
-        # full data?  (Not used by the pipeline; reported for analysis.)
-        from ..signals.feature_map import subject_signature
-
-        matches[v_x] = cluster == system.gc.assign_signature(
-            subject_signature(record.maps)
-        )
-
-        # Step 3: evaluate without fine-tuning + robustness test.
-        metrics = system.model_for(cluster).evaluate(held_back)
-        wo_ft.add(FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=v_x))
-        other_metrics = []
-        for other in range(config.num_clusters):
-            if other == cluster:
-                continue
-            other_metrics.append(system.model_for(other).evaluate(held_back))
-        if other_metrics:
-            rt.add(
-                FoldMetrics(
-                    float(np.mean([m["accuracy"] for m in other_metrics])),
-                    float(np.mean([m["f1"] for m in other_metrics])),
-                    fold_id=v_x,
-                )
-            )
-
-        # Step 4: fine-tune with 20 % labels, test on the rest.
-        if with_fine_tuning:
-            ft_fraction = config.ft_label_fraction / (1.0 - config.ca_data_fraction)
-            ft_maps, test_maps = split_maps_by_fraction(
-                held_back, ft_fraction, rng, stratified=True
-            )
-            tuned = fine_tune(
-                system.model_for(cluster),
-                ft_maps,
-                config.fine_tuning,
-                seed=config.seed,
-            )
-            ft_metrics = tuned.evaluate(test_maps)
-            w_ft.add(
-                FoldMetrics(ft_metrics["accuracy"], ft_metrics["f1"], fold_id=v_x)
-            )
+    for fold in executor.map(_clear_fold_unit, units):
+        assignments[fold["v_x"]] = fold["cluster"]
+        matches[fold["v_x"]] = fold["match"]
+        wo_ft.add(fold["wo"])
+        if fold["rt"] is not None:
+            rt.add(fold["rt"])
+        if w_ft is not None and fold["ft"] is not None:
+            w_ft.add(fold["ft"])
+        stats.merge_counts(fold["hits"], fold["misses"])
+    stats.wall_time_s = _time.perf_counter() - t0
 
     return CLEARValidationResult(
         without_ft=wo_ft,
@@ -250,4 +376,5 @@ def clear_validation(
         with_ft=w_ft,
         assignments=assignments,
         assignment_matches_gc=matches,
+        runtime=stats,
     )

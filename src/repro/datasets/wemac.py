@@ -11,12 +11,17 @@ non-fear video stimuli, converted into ~800 labelled 2D feature maps
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..signals.feature_map import FeatureMap, build_feature_map
-from ..signals.features import FeatureExtractor, SensorRates
+from ..runtime.executor import Executor, RuntimeStats, SerialExecutor
+from ..signals.feature_map import (
+    FeatureMap,
+    SubjectExtractionUnit,
+    extract_subject_maps,
+)
 from .stimuli import StimulusSchedule, balanced_schedule
 from .subject import (
     NUM_ARCHETYPES,
@@ -116,6 +121,9 @@ class WEMACDataset:
 
     config: WEMACConfig
     subjects: List[SubjectRecord]
+    #: How generation ran (executor shape, extraction cache hits/misses);
+    #: None for datasets loaded from disk or built by hand.
+    runtime: Optional[RuntimeStats] = None
 
     @property
     def num_subjects(self) -> int:
@@ -179,17 +187,35 @@ class SyntheticWEMAC:
     def __init__(self, config: Optional[WEMACConfig] = None):
         self.config = config or WEMACConfig()
 
-    def generate(self) -> WEMACDataset:
-        """Simulate every volunteer and extract their feature maps."""
+    def generate(
+        self,
+        executor: Optional[Executor] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> WEMACDataset:
+        """Simulate every volunteer and extract their feature maps.
+
+        Simulation stays serial (every subject draws from the one
+        corpus RNG stream), but feature extraction is pure and fans out
+        per subject through ``executor``; with ``cache_dir`` set,
+        byte-identical trials are loaded from the content-addressed
+        cache instead of re-extracted.  Results are bit-identical
+        across executors and cache states.
+        """
+        import time as _time
+
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         simulator = PhysiologicalSimulator(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt)
-        extractor = FeatureExtractor(
-            rates=SensorRates(bvp=cfg.fs_bvp, gsr=cfg.fs_gsr, skt=cfg.fs_skt),
-            window_seconds=cfg.window_seconds,
-        )
+        executor = executor or SerialExecutor()
+        t0 = _time.perf_counter()
+
+        # Phase 1 (serial): sample subjects and simulate raw recordings.
+        # Extraction consumes no randomness, so hoisting it out of this
+        # loop leaves the RNG stream — and thus the corpus — unchanged.
         plan = _archetype_plan(cfg)
-        subjects: List[SubjectRecord] = []
+        profiles = []
+        schedules = []
+        units: List[SubjectExtractionUnit] = []
         for subject_id, archetype_id in enumerate(plan):
             profile = sample_subject(
                 subject_id, archetype_id, rng, jitter=cfg.subject_jitter
@@ -198,22 +224,32 @@ class SyntheticWEMAC:
                 cfg.trials_per_subject, cfg.trial_seconds, rng
             )
             raw_trials = simulator.simulate_schedule(profile, schedule, rng)
-            maps: List[FeatureMap] = []
-            for trial, raw in zip(schedule.trials, raw_trials):
-                vectors = extractor.extract_recording(
-                    raw["bvp"], raw["gsr"], raw["skt"]
+            profiles.append(profile)
+            schedules.append(schedule)
+            units.append(
+                SubjectExtractionUnit(
+                    subject_id=subject_id,
+                    trials=list(raw_trials),
+                    labels=[t.label for t in schedule.trials],
+                    windows_per_map=cfg.windows_per_map,
+                    rates=(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt),
+                    window_seconds=cfg.window_seconds,
+                    cache_dir=None if cache_dir is None else str(cache_dir),
                 )
-                if vectors.shape[0] < cfg.windows_per_map:
-                    raise RuntimeError(
-                        "trial too short for requested windows_per_map: "
-                        f"{vectors.shape[0]} < {cfg.windows_per_map}"
-                    )
-                maps.append(
-                    build_feature_map(
-                        vectors[: cfg.windows_per_map],
-                        label=trial.label,
-                        subject_id=subject_id,
-                    )
-                )
-            subjects.append(SubjectRecord(profile, schedule, maps))
-        return WEMACDataset(config=cfg, subjects=subjects)
+            )
+
+        # Phase 2 (fanned out): per-subject feature extraction.
+        results = executor.map(extract_subject_maps, units)
+        subjects = [
+            SubjectRecord(profile, schedule, result.maps)
+            for profile, schedule, result in zip(profiles, schedules, results)
+        ]
+        stats = RuntimeStats(
+            executor=executor.name,
+            workers=executor.workers,
+            units=len(units),
+            wall_time_s=_time.perf_counter() - t0,
+        )
+        for result in results:
+            stats.merge_counts(result.cache_hits, result.cache_misses)
+        return WEMACDataset(config=cfg, subjects=subjects, runtime=stats)

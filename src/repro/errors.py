@@ -56,3 +56,12 @@ class RetryError(ResilienceError):
 
 class FederatedRoundError(ResilienceError):
     """Every client in a federated round failed, even after retries."""
+
+
+class CacheError(ResilienceError):
+    """A runtime cache entry cannot be read, written, or deserialized.
+
+    Raised by :mod:`repro.runtime.cache` with the offending file path in
+    the message; a *miss* is never an error (it returns ``None``), only
+    corruption or an unusable cache directory is.
+    """

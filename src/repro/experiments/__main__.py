@@ -8,6 +8,7 @@ the default bench scale finishes in minutes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .report import ReportRegistry
@@ -56,6 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH", help="write the reports to a JSON file"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan LOSO folds / cluster pre-training / feature extraction "
+            "across N worker processes (results are bit-identical to the "
+            "serial default)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "content-addressed runtime cache directory; warm re-runs skip "
+            "feature extraction and fold training whose inputs are unchanged"
+        ),
+    )
     return parser
 
 
@@ -63,6 +84,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     scale = (
         ExperimentScale.paper() if args.scale == "paper" else ExperimentScale.bench()
+    )
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    scale = dataclasses.replace(
+        scale, workers=args.workers, cache_dir=args.cache_dir
     )
 
     wanted = list(args.experiments) if args.experiments else ["all"]

@@ -25,6 +25,7 @@ from ..core import (
 from ..core.trainer import train_on_maps
 from ..datasets import SyntheticWEMAC, WEMACConfig, split_maps_by_fraction
 from ..edge import ALL_DEVICES, EdgeDeployment, profile_model
+from ..runtime import Executor, make_executor
 from ..signals import (
     BVP_FEATURE_NAMES,
     GSR_FEATURE_NAMES,
@@ -41,11 +42,21 @@ class ExperimentScale:
     ``bench()`` (the default) finishes in minutes on a laptop;
     ``paper()`` uses the full 44-volunteer corpus and full LOSO and
     takes hours of pure-numpy compute.
+
+    ``workers`` > 1 fans LOSO folds / cluster pre-training / feature
+    extraction across processes (bit-identical results); ``cache_dir``
+    points the content-addressed runtime cache at a directory so warm
+    re-runs skip extraction and training.
     """
 
     dataset: WEMACConfig
     clear: CLEARConfig
     max_folds: Optional[int]
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+
+    def executor(self) -> Executor:
+        return make_executor(self.workers)
 
     @staticmethod
     def bench(seed: int = 2) -> "ExperimentScale":
@@ -72,7 +83,9 @@ class ExperimentScale:
 
 
 def _generate(scale: ExperimentScale):
-    return SyntheticWEMAC(scale.dataset).generate()
+    return SyntheticWEMAC(scale.dataset).generate(
+        executor=scale.executor(), cache_dir=scale.cache_dir
+    )
 
 
 def run_table1(
@@ -82,18 +95,29 @@ def run_table1(
     scale = scale or ExperimentScale.bench()
     dataset = dataset if dataset is not None else _generate(scale)
 
+    executor = scale.executor()
     general = evaluate_general_model(
         dataset,
         scale.clear,
         group_size=max(2, dataset.num_subjects // scale.clear.num_clusters),
         max_folds=scale.max_folds,
+        executor=executor,
+        cache_dir=scale.cache_dir,
     )
     cl = cl_validation(
         dataset,
         scale.clear,
         max_folds=None if scale.max_folds is None else 2 * scale.max_folds,
+        executor=executor,
+        cache_dir=scale.cache_dir,
     )
-    clear = clear_validation(dataset, scale.clear, max_folds=scale.max_folds)
+    clear = clear_validation(
+        dataset,
+        scale.clear,
+        max_folds=scale.max_folds,
+        executor=executor,
+        cache_dir=scale.cache_dir,
+    )
 
     rows = [general, cl.rt_cl, cl.cl, clear.rt_clear, clear.without_ft, clear.with_ft]
     text = render_table(
@@ -110,6 +134,11 @@ def run_table1(
     }
     measured = {s.name: s.as_row() for s in rows}
     measured["cluster_sizes"] = cl.cluster_sizes
+    measured["runtime"] = {
+        "general": general.runtime.as_dict() if general.runtime else None,
+        "cl": cl.runtime.as_dict() if cl.runtime else None,
+        "clear": clear.runtime.as_dict() if clear.runtime else None,
+    }
     return ExperimentReport(
         experiment_id="table1",
         title="CLEAR validation vs references (paper Table I)",
@@ -135,7 +164,7 @@ def _edge_folds(scale: ExperimentScale, dataset):
             for s in dataset.subjects
             if s.subject_id != record.subject_id
         }
-        system = CLEAR(scale.clear).fit(population)
+        system = CLEAR(scale.clear, cache_dir=scale.cache_dir).fit(population)
         ca_maps, held_back = split_maps_by_fraction(
             record.maps, scale.clear.ca_data_fraction, rng, stratified=False
         )
@@ -317,7 +346,9 @@ def run_fig1_pipeline(
     timings: Dict[str, float] = {}
 
     t0 = time.perf_counter()
-    system = CLEAR(scale.clear).fit(population)
+    system = CLEAR(
+        scale.clear, executor=scale.executor(), cache_dir=scale.cache_dir
+    ).fit(population)
     timings["cloud_fit_s"] = time.perf_counter() - t0
 
     rng = np.random.default_rng(scale.clear.seed)

@@ -7,8 +7,8 @@ recording into an "image" that the CNN-LSTM consumes (paper §III-A.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,6 +114,108 @@ def maps_to_arrays(maps: Sequence[FeatureMap]) -> Tuple[np.ndarray, np.ndarray]:
     x = np.stack([m.as_nn_input() for m in maps], axis=0)
     y = np.array([m.label for m in maps], dtype=np.int64)
     return x, y
+
+
+@dataclass
+class SubjectExtractionUnit:
+    """One subject's raw recordings, packaged as an executor work unit.
+
+    Extraction is pure — raw bytes + config in, feature maps out — so
+    units can run on any process in any order and the result is
+    bit-identical to a serial sweep.  ``cache_dir`` (not a live cache
+    handle) travels with the unit so each worker process opens its own
+    handle on the shared content-addressed store.
+    """
+
+    subject_id: int
+    trials: List[Dict[str, np.ndarray]]  # keys: bvp / gsr / skt
+    labels: List[int]
+    windows_per_map: int
+    rates: Tuple[float, float, float]  # (bvp, gsr, skt) Hz
+    window_seconds: float
+    step_seconds: Optional[float] = None
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class SubjectExtractionResult:
+    """Extracted maps plus the unit's cache hit/miss counts."""
+
+    subject_id: int
+    maps: List[FeatureMap] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def extract_subject_maps(unit: SubjectExtractionUnit) -> SubjectExtractionResult:
+    """Extract (or cache-load) every feature map for one subject.
+
+    The cache key is SHA-256 over the trial's raw signal bytes plus the
+    full extraction configuration, so byte-identical raw data with an
+    unchanged config is never re-extracted, while any config change
+    (window length, rates, windows_per_map) invalidates transparently.
+    """
+    from .features import FeatureExtractor, SensorRates
+
+    cache = None
+    if unit.cache_dir is not None:
+        from ..runtime.cache import feature_map_cache
+
+        cache = feature_map_cache(unit.cache_dir)
+
+    extractor = FeatureExtractor(
+        rates=SensorRates(*unit.rates),
+        window_seconds=unit.window_seconds,
+        step_seconds=unit.step_seconds,
+    )
+    result = SubjectExtractionResult(subject_id=unit.subject_id)
+    for raw, label in zip(unit.trials, unit.labels):
+        key = None
+        if cache is not None:
+            key = cache.key(
+                "feature_map.v1",
+                raw["bvp"],
+                raw["gsr"],
+                raw["skt"],
+                unit.rates,
+                unit.window_seconds,
+                extractor.step_seconds,
+                unit.windows_per_map,
+                label,
+                unit.subject_id,
+            )
+            entry = cache.load_arrays(key)
+            if entry is not None:
+                result.maps.append(
+                    FeatureMap(
+                        entry["values"],
+                        label=int(entry["label"]),
+                        subject_id=int(entry["subject_id"]),
+                    )
+                )
+                result.cache_hits += 1
+                continue
+            result.cache_misses += 1
+        vectors = extractor.extract_recording(raw["bvp"], raw["gsr"], raw["skt"])
+        if vectors.shape[0] < unit.windows_per_map:
+            raise RuntimeError(
+                "trial too short for requested windows_per_map: "
+                f"{vectors.shape[0]} < {unit.windows_per_map}"
+            )
+        fmap = build_feature_map(
+            vectors[: unit.windows_per_map],
+            label=label,
+            subject_id=unit.subject_id,
+        )
+        if cache is not None and key is not None:
+            cache.store_arrays(
+                key,
+                values=fmap.values,
+                label=np.int64(label),
+                subject_id=np.int64(unit.subject_id),
+            )
+        result.maps.append(fmap)
+    return result
 
 
 def subject_signature(maps: Sequence[FeatureMap]) -> np.ndarray:

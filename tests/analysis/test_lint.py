@@ -58,6 +58,10 @@ class TestRuleFixtures:
             "import time\ndef wait():\n    time.sleep(0.1)\n",
             "def wait(clock):\n    clock.sleep(0.1)\n",
         ),
+        "RPR008": (
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "from repro.runtime import make_executor\n",
+        ),
     }
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
@@ -121,6 +125,24 @@ class TestRuleEdges:
 
     def test_other_objects_sleep_allowed(self):
         assert "RPR007" not in codes_of("worker.sleep(1)\nclock.time()\n")
+
+    def test_plain_multiprocessing_import_flagged(self):
+        assert "RPR008" in codes_of("import multiprocessing\n")
+
+    def test_from_concurrent_import_futures_flagged(self):
+        assert "RPR008" in codes_of("from concurrent import futures\n")
+
+    def test_dotted_multiprocessing_import_flagged(self):
+        assert "RPR008" in codes_of("import multiprocessing.pool as mp\n")
+
+    def test_runtime_package_exempt_from_rpr008(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        findings = lint_source(src, path="src/repro/runtime/executor.py")
+        assert "RPR008" not in [f.code for f in findings]
+
+    def test_relative_runtime_import_not_flagged(self):
+        # ``from ..runtime import ...`` is the sanctioned way in.
+        assert "RPR008" not in codes_of("from ..runtime import make_executor\n")
 
 
 class TestSuppression:

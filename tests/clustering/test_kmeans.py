@@ -5,10 +5,13 @@ import pytest
 
 from repro.clustering import (
     KMeans,
+    KMeansResult,
     assign_to_centers,
     kmeans_plus_plus_init,
     pairwise_sq_distances,
+    reseed_empty_clusters,
 )
+from repro.runtime import ParallelExecutor, SerialExecutor
 
 
 def make_blobs(rng, centers, n_per=30, spread=0.3):
@@ -111,6 +114,79 @@ class TestKMeansFit:
     def test_rejects_1d(self, rng):
         with pytest.raises(ValueError, match=r"\(n, F\)"):
             KMeans(2).fit(rng.normal(size=10))
+
+
+class TestReseedEmptyClusters:
+    def test_two_simultaneous_empties_land_on_distinct_points(self):
+        """Regression: two clusters emptying in the same Lloyd iteration.
+
+        Against the stale center set, [100, 100] is the single farthest
+        point, so a non-iterative re-seed places *both* empty clusters
+        there and one of them is empty again next iteration.  The fix
+        re-seeds iteratively, excluding claimed points and recomputing
+        distances against the partially updated centers.
+        """
+        dense = np.zeros((20, 2))
+        far_a = np.array([100.0, 100.0])
+        far_b = np.array([90.0, 90.0])
+        x = np.vstack([dense, far_a, far_b])
+        centers = np.array([[0.0, 0.0], [50.0, 50.0], [55.0, 55.0]])
+        reseeded = reseed_empty_clusters(x, centers, empty=[1, 2])
+        # Non-empty cluster untouched; the two empties claim the two
+        # distinct far points instead of colliding on far_a.
+        np.testing.assert_array_equal(reseeded[0], centers[0])
+        placed = {tuple(reseeded[1]), tuple(reseeded[2])}
+        assert placed == {tuple(far_a), tuple(far_b)}
+
+    def test_excluded_points_recompute_against_updated_centers(self):
+        # After the first re-seed claims the outlier, the second-farthest
+        # point must be measured against the *updated* center set.
+        x = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        centers = np.array([[0.5, 0.0], [99.0, 0.0], [98.0, 0.0]])
+        reseeded = reseed_empty_clusters(x, centers, empty=[1, 2])
+        placed = {tuple(reseeded[1]), tuple(reseeded[2])}
+        assert placed == {(20.0, 0.0), (10.0, 0.0)}
+
+    def test_no_empty_clusters_survive_a_fit(self, rng):
+        # Dense ball + two stacked outliers: the shape that used to
+        # leave a cluster empty when both re-seeds collided.
+        x = np.concatenate(
+            [
+                rng.normal(0, 0.05, size=(60, 2)),
+                [[100.0, 100.0], [90.0, 90.0]],
+            ]
+        )
+        for seed in range(5):
+            result = KMeans(3, seed=seed).fit(x)
+            assert len(np.unique(result.labels)) == 3
+
+    def test_original_centers_not_mutated(self):
+        x = np.array([[0.0, 0.0], [10.0, 10.0]])
+        centers = np.array([[0.0, 0.0], [50.0, 50.0]])
+        snapshot = centers.copy()
+        reseed_empty_clusters(x, centers, empty=[1])
+        np.testing.assert_array_equal(centers, snapshot)
+
+
+class TestKMeansExecutor:
+    def test_fit_returns_result_not_optional(self, rng):
+        x, _ = make_blobs(rng, [[0, 0], [5, 5]])
+        result = KMeans(2, n_init=1, seed=0).fit(x)
+        assert isinstance(result, KMeansResult)
+
+    def test_n_init_zero_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="n_init"):
+            KMeans(2, n_init=0)
+
+    def test_parallel_restarts_bit_identical(self, rng):
+        x, _ = make_blobs(rng, [[0, 0], [8, 0], [0, 8]])
+        serial = KMeans(3, n_init=4, seed=1).fit(x, executor=SerialExecutor())
+        parallel = KMeans(3, n_init=4, seed=1).fit(
+            x, executor=ParallelExecutor(2)
+        )
+        np.testing.assert_array_equal(serial.labels, parallel.labels)
+        np.testing.assert_array_equal(serial.centers, parallel.centers)
+        assert serial.inertia == parallel.inertia
 
 
 class TestAssignToCenters:

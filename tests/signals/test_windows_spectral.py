@@ -51,6 +51,13 @@ class TestWindows:
         times = window_times(40, 20, 10, fs=10.0)
         np.testing.assert_allclose(times, [1.0, 2.0, 3.0])
 
+    @pytest.mark.parametrize("fs", [0.0, -1.0, -10.5, float("nan")])
+    def test_window_times_rejects_non_positive_fs(self, fs):
+        # fs <= 0 used to divide through silently, yielding inf/negative
+        # timestamps downstream.
+        with pytest.raises(ValueError, match="fs must be positive"):
+            window_times(40, 20, 10, fs=fs)
+
 
 class TestWelchPSD:
     def test_peak_at_signal_frequency(self):

@@ -36,6 +36,7 @@ def test_all_rules_enabled_by_default():
         "RPR005",
         "RPR006",
         "RPR007",
+        "RPR008",
     }
 
 
