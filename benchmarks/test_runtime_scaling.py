@@ -26,6 +26,7 @@ from repro.core import (
     clear_validation,
 )
 from repro.datasets import SyntheticWEMAC, WEMACConfig
+from repro.orchestration import PipelineGraph, Stage
 from repro.runtime import ParallelExecutor, SerialExecutor
 
 from conftest import bench_dataset_config
@@ -185,6 +186,86 @@ def test_validation_scaling_and_cache(bench_dataset, tmp_path):
         f"parallel({WORKERS}) {parallel_s:.2f}s, cache cold {cold_s:.2f}s "
         f"-> warm {warm_s:.2f}s"
     )
+
+
+def _graph_clear_validation(dataset, cfg, folds):
+    """clear_validation declared as a one-stage PipelineGraph."""
+    graph = PipelineGraph(
+        "bench_clear",
+        [
+            Stage(
+                "clear",
+                lambda ctx, corpus: clear_validation(
+                    corpus,
+                    cfg,
+                    max_folds=folds,
+                    executor=ctx.executor,
+                    cache_dir=ctx.cache_dir,
+                ),
+                requires=("corpus",),
+                config=cfg,
+                seed=cfg.seed,
+            )
+        ],
+    )
+    run = graph.run(initial={"corpus": dataset}, seed=cfg.seed)
+    return run.value("clear")
+
+
+def _assert_graph_matches_direct(direct, graphed):
+    assert _folds(direct.without_ft) == _folds(graphed.without_ft)
+    assert _folds(direct.with_ft) == _folds(graphed.with_ft)
+    assert direct.assignments == graphed.assignments
+
+
+def test_stage_graph_overhead(bench_dataset):
+    """Graph-driven vs direct clear_validation: identical results.
+
+    The orchestration layer adds artifact digesting and provenance
+    capture per stage; this records what that costs against a direct
+    call at bench scale.  Wall times are recorded, not asserted — the
+    hard assertion is bit-identity of every fold metric.
+    """
+    folds = 3
+    direct, direct_s = _timed(
+        clear_validation, bench_dataset, VALIDATION_CFG, max_folds=folds
+    )
+    graphed, graph_s = _timed(
+        _graph_clear_validation, bench_dataset, VALIDATION_CFG, folds
+    )
+    _assert_graph_matches_direct(direct, graphed)
+
+    _merge_report(
+        "stage_graph",
+        {
+            "folds": folds,
+            "direct_s": round(direct_s, 3),
+            "graph_s": round(graph_s, 3),
+            "overhead_s": round(graph_s - direct_s, 3),
+            "overhead_pct": (
+                round(100.0 * (graph_s - direct_s) / direct_s, 2)
+                if direct_s
+                else None
+            ),
+            "bit_identical": True,
+        },
+    )
+    print(
+        f"\n[runtime] stage graph({folds} folds): direct {direct_s:.2f}s, "
+        f"graph-driven {graph_s:.2f}s "
+        f"(overhead {graph_s - direct_s:+.2f}s)"
+    )
+
+
+@pytest.mark.smoke
+def test_stage_graph_smoke(tmp_path):
+    """Tier-1-safe stage-graph variant: tiny corpus, 2 folds, seconds."""
+    cfg = WEMACConfig.tiny(seed=0)
+    smoke_cfg = CLEARConfig.fast(seed=0)
+    dataset = SyntheticWEMAC(cfg).generate()
+    direct = clear_validation(dataset, smoke_cfg, max_folds=2)
+    graphed = _graph_clear_validation(dataset, smoke_cfg, 2)
+    _assert_graph_matches_direct(direct, graphed)
 
 
 @pytest.mark.smoke

@@ -23,6 +23,9 @@ Subpackages
 ``repro.runtime``
     Deterministic serial/parallel executors + content-addressed cache
     for feature maps and trained-fold checkpoints.
+``repro.orchestration``
+    Typed Stage/Artifact pipeline graphs with provenance capture; the
+    single injection point for executors and caches.
 """
 
 __version__ = "1.0.0"
@@ -36,6 +39,7 @@ from . import (
     errors,
     experiments,
     nn,
+    orchestration,
     resilience,
     runtime,
     signals,
@@ -52,6 +56,7 @@ __all__ = [
     "edge",
     "errors",
     "experiments",
+    "orchestration",
     "resilience",
     "runtime",
     "viz",

@@ -45,6 +45,16 @@ RPR008
     ``repro/runtime`` — ad-hoc process pools bypass the seed-spawning
     executor layer, so parallel results silently stop being
     bit-identical to serial ones.  Accept an ``Executor`` instead.
+RPR009
+    Direct construction of runtime machinery — executors
+    (``SerialExecutor`` / ``ParallelExecutor`` / ``make_executor``) or
+    content caches (``ContentCache`` / ``feature_map_cache`` /
+    ``checkpoint_cache``) — outside ``repro/runtime`` and
+    ``repro/orchestration``.  Runtime is injected once at the stage
+    boundary by the orchestration layer; scattered construction sites
+    fragment cache statistics and executor provenance.  Accept an
+    ``Executor`` / ``cache_dir`` or go through
+    ``repro.orchestration.context``.
 """
 
 from __future__ import annotations
@@ -409,6 +419,64 @@ class AdHocParallelismRule(LintRule):
                     yield self.finding(
                         path, node, self._msg(node.module or root)
                     )
+
+
+@register
+class RuntimeConstructionRule(LintRule):
+    """RPR009: executor/cache construction outside runtime+orchestration.
+
+    The orchestration layer injects the executor and content cache once
+    per stage; any other layer constructing them directly creates a
+    second, unaccounted runtime whose cache traffic and worker shape
+    never reach the provenance records.  Only ``repro/runtime`` (the
+    implementation) and ``repro/orchestration`` (the injection point)
+    may call the constructors."""
+
+    code = "RPR009"
+
+    _BANNED_CALLS = frozenset(
+        {
+            "SerialExecutor",
+            "ParallelExecutor",
+            "make_executor",
+            "ContentCache",
+            "feature_map_cache",
+            "checkpoint_cache",
+        }
+    )
+    _EXEMPT_PACKAGES = ("runtime", "orchestration")
+
+    @classmethod
+    def _exempt(cls, path: str) -> bool:
+        parts = Path(path).parts
+        return any(
+            part == "repro" and parts[i + 1] in cls._EXEMPT_PACKAGES
+            for i, part in enumerate(parts[:-1])
+        )
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> Optional[str]:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if self._exempt(path):
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and self._call_name(node) in self._BANNED_CALLS
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"direct {self._call_name(node)}() outside repro/runtime "
+                    f"and repro/orchestration; accept an Executor/cache_dir "
+                    f"or inject via repro.orchestration.context",
+                )
 
 
 # -- engine --------------------------------------------------------------

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..orchestration.grouping import iter_subject_maps
 from ..signals.feature_map import FeatureMap
 from .kmeans import KMeans, pairwise_sq_distances
 from .scaling import StandardScaler
@@ -34,10 +35,8 @@ def subject_matrix(
     if not maps_by_subject:
         raise ValueError("no subjects provided")
     rows = []
-    for subject_id in sorted(maps_by_subject):
-        maps = list(maps_by_subject[subject_id])
-        if not maps:
-            raise ValueError(f"subject {subject_id} has no feature maps")
+    for subject_id, subject_maps in iter_subject_maps(maps_by_subject):
+        maps = list(subject_maps)
         if subsample_fraction < 1.0 and rng is not None and len(maps) > 1:
             count = max(1, int(round(subsample_fraction * len(maps))))
             idx = rng.choice(len(maps), size=count, replace=False)

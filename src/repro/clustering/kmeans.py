@@ -7,7 +7,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..runtime.executor import Executor, SerialExecutor, spawn_seeds
+from ..orchestration.context import resolve_executor
+from ..runtime.executor import Executor, spawn_seeds
 
 
 def pairwise_sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
@@ -175,7 +176,7 @@ class KMeans:
             raise ValueError(
                 f"cannot make {self.k} clusters from {x.shape[0]} samples"
             )
-        executor = executor or SerialExecutor()
+        executor = resolve_executor(executor)
         seeds = spawn_seeds(self.seed, self.n_init)
         units = [
             (x, self.k, self.max_iter, self.tol, seed) for seed in seeds

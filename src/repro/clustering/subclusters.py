@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..orchestration.grouping import member_maps as _member_maps
 from ..signals.feature_map import FeatureMap
 from .global_clustering import GlobalClusteringResult
 from .kmeans import KMeans
@@ -61,9 +62,7 @@ def build_subclusters(
     models: Dict[int, SubClusterModel] = {}
     for cluster in range(gc.k):
         member_ids = gc.members(cluster)
-        member_maps = [
-            m for sid in member_ids for m in maps_by_subject.get(sid, [])
-        ]
+        member_maps = _member_maps(maps_by_subject, member_ids)
         if not member_maps:
             # Degenerate cluster: fall back to the main centroid alone.
             models[cluster] = SubClusterModel(

@@ -18,7 +18,12 @@ from ..analysis.graph import validate_architecture
 from ..clustering.assignment import AssignmentResult, ColdStartAssigner
 from ..clustering.global_clustering import GlobalClustering, GlobalClusteringResult
 from ..clustering.subclusters import SubClusterModel, build_subclusters
-from ..runtime.executor import Executor, RuntimeStats, SerialExecutor
+from ..orchestration.context import normalize_cache_dir, resolve_executor
+from ..orchestration.graph import PipelineGraph
+from ..orchestration.grouping import member_maps as _member_maps
+from ..orchestration.provenance import Provenance
+from ..orchestration.stage import Stage, StageContext
+from ..runtime.executor import Executor, RuntimeStats
 from ..signals.feature_map import FeatureMap
 from .config import CLEARConfig, ModelConfig, TrainingConfig
 from .trainer import TrainedModel, fine_tune, train_on_maps_cached
@@ -35,9 +40,24 @@ class CLEARSystem:
     cluster_models: Dict[int, TrainedModel]
     #: How the cloud stage ran: executor shape + checkpoint-cache counters.
     runtime: Optional[RuntimeStats] = None
+    #: Per-stage lineage of the fit graph (global clustering, sub-
+    #: clustering, per-cluster pre-training), in execution order.
+    provenance: Tuple[Provenance, ...] = ()
     _population: Optional[TrainedModel] = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    def __repro_content__(self) -> Tuple:
+        # Stable content of a fitted system: everything that determines
+        # its predictions.  Runtime stats / provenance carry wall times
+        # and the lazy population model is derived state.
+        return (
+            "CLEARSystem",
+            self.config,
+            self.gc,
+            self.subclusters,
+            self.cluster_models,
+        )
 
     # -- edge-stage operations -------------------------------------------
     def assign_new_user(self, unlabeled_maps: Sequence[FeatureMap]) -> AssignmentResult:
@@ -241,8 +261,95 @@ class CLEAR:
         cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.config = config or CLEARConfig()
-        self.executor = executor or SerialExecutor()
-        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.executor = resolve_executor(executor)
+        self.cache_dir = normalize_cache_dir(cache_dir)
+
+    def _graph(self) -> PipelineGraph:
+        """The cloud stage as a declared graph over the population artifact."""
+        cfg = self.config
+
+        def _gc_stage(
+            ctx: StageContext, population: Dict[int, Sequence[FeatureMap]]
+        ) -> GlobalClusteringResult:
+            return GlobalClustering(
+                k=cfg.num_clusters,
+                n_refinements=cfg.gc_refinements,
+                subsample_fraction=cfg.gc_subsample_fraction,
+                seed=cfg.seed,
+            ).fit(population)
+
+        def _subcluster_stage(
+            ctx: StageContext,
+            population: Dict[int, Sequence[FeatureMap]],
+            global_clustering: GlobalClusteringResult,
+        ) -> Dict[int, SubClusterModel]:
+            return build_subclusters(
+                global_clustering,
+                population,
+                subclusters_per_cluster=cfg.subclusters_per_cluster,
+                seed=cfg.seed,
+            )
+
+        def _train_stage(
+            ctx: StageContext,
+            population: Dict[int, Sequence[FeatureMap]],
+            global_clustering: GlobalClusteringResult,
+        ) -> Dict[int, TrainedModel]:
+            units = []
+            for cluster in range(cfg.num_clusters):
+                maps = _member_maps(
+                    population, global_clustering.members(cluster)
+                )
+                if len(maps) < 2:
+                    raise RuntimeError(
+                        f"cluster {cluster} has too few maps ({len(maps)}) "
+                        "to train a model"
+                    )
+                units.append(
+                    (
+                        cluster,
+                        maps,
+                        cfg.model,
+                        cfg.training,
+                        cfg.seed + cluster,
+                        ctx.cache_dir,
+                    )
+                )
+            ctx.set_units(len(units))
+            cluster_models: Dict[int, TrainedModel] = {}
+            for cluster, model, hits, misses in ctx.executor.map(
+                _train_cluster_unit, units
+            ):
+                cluster_models[cluster] = model
+                ctx.record_cache(hits, misses)
+            return cluster_models
+
+        return PipelineGraph(
+            "clear_fit",
+            [
+                Stage(
+                    name="global_clustering",
+                    fn=_gc_stage,
+                    requires=("population",),
+                    config=cfg,
+                    seed=cfg.seed,
+                ),
+                Stage(
+                    name="subclusters",
+                    fn=_subcluster_stage,
+                    requires=("population", "global_clustering"),
+                    config=cfg,
+                    seed=cfg.seed,
+                ),
+                Stage(
+                    name="cluster_models",
+                    fn=_train_stage,
+                    requires=("population", "global_clustering"),
+                    config=cfg,
+                    seed=cfg.seed,
+                ),
+            ],
+        )
 
     def fit(
         self, maps_by_subject: Dict[int, Sequence[FeatureMap]]
@@ -269,61 +376,35 @@ class CLEAR:
         if first_map is not None:
             validate_architecture((1,) + first_map.values.shape, cfg.model)
 
-        gc = GlobalClustering(
-            k=cfg.num_clusters,
-            n_refinements=cfg.gc_refinements,
-            subsample_fraction=cfg.gc_subsample_fraction,
-            seed=cfg.seed,
-        ).fit(maps_by_subject)
-
-        subclusters = build_subclusters(
-            gc,
-            maps_by_subject,
-            subclusters_per_cluster=cfg.subclusters_per_cluster,
+        run = self._graph().run(
+            initial={"population": maps_by_subject},
+            executor=self.executor,
+            cache_dir=self.cache_dir,
             seed=cfg.seed,
         )
-        assigner = ColdStartAssigner(gc, subclusters)
-
-        units = []
-        for cluster in range(cfg.num_clusters):
-            member_ids = gc.members(cluster)
-            member_maps = [
-                m for sid in member_ids for m in maps_by_subject[sid]
-            ]
-            if len(member_maps) < 2:
-                raise RuntimeError(
-                    f"cluster {cluster} has too few maps ({len(member_maps)}) "
-                    "to train a model"
-                )
-            units.append(
-                (
-                    cluster,
-                    member_maps,
-                    cfg.model,
-                    cfg.training,
-                    cfg.seed + cluster,
-                    self.cache_dir,
-                )
-            )
+        gc: GlobalClusteringResult = run.value("global_clustering")
+        subclusters: Dict[int, SubClusterModel] = run.value("subclusters")
+        cluster_models: Dict[int, TrainedModel] = run.value("cluster_models")
+        train_prov = run.provenance("cluster_models")
 
         stats = RuntimeStats(
             executor=self.executor.name,
             workers=self.executor.workers,
-            units=len(units),
+            units=train_prov.units,
+            cache_hits=train_prov.cache_hits,
+            cache_misses=train_prov.cache_misses,
         )
-        cluster_models: Dict[int, TrainedModel] = {}
-        for cluster, model, hits, misses in self.executor.map(
-            _train_cluster_unit, units
-        ):
-            cluster_models[cluster] = model
-            stats.merge_counts(hits, misses)
         stats.wall_time_s = _time.perf_counter() - t0
 
         return CLEARSystem(
             config=cfg,
             gc=gc,
             subclusters=subclusters,
-            assigner=assigner,
+            assigner=ColdStartAssigner(gc, subclusters),
             cluster_models=cluster_models,
             runtime=stats,
+            provenance=tuple(
+                run.provenance(name)
+                for name in ("global_clustering", "subclusters", "cluster_models")
+            ),
         )

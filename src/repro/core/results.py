@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..orchestration.provenance import Provenance
 from ..runtime.executor import RuntimeStats
 
 
@@ -34,9 +35,21 @@ class MetricSummary:
     #: hit/miss counters); None when the producer predates the runtime
     #: layer or the summary was assembled by hand.
     runtime: Optional[RuntimeStats] = None
+    #: Lineage of the fold-plan stage that produced these folds; None
+    #: when assembled by hand.
+    provenance: Optional[Provenance] = None
 
     def add(self, fold: FoldMetrics) -> None:
         self.folds.append(fold)
+
+    def __repro_content__(self) -> Tuple:
+        # Stable content: the fold metrics only.  Runtime stats and
+        # provenance carry wall times, which must never shift a digest.
+        return (
+            "MetricSummary",
+            self.name,
+            tuple((f.fold_id, f.accuracy, f.f1) for f in self.folds),
+        )
 
     @property
     def num_folds(self) -> int:

@@ -131,9 +131,12 @@ def train_on_maps_cached(
     if cache_dir is None:
         return train_on_maps(train_maps, model_config, training, seed=seed), 0, 0
 
-    from ..runtime.cache import checkpoint_cache
+    # Opened through the orchestration context (the single injection
+    # point for runtime machinery, RPR009); lazy so a forked worker
+    # builds its own handle on the shared store.
+    from ..orchestration.context import open_checkpoint_cache
 
-    cache = checkpoint_cache(cache_dir)
+    cache = open_checkpoint_cache(cache_dir)
     key = cache.key(
         "trained_fold.v1",
         maps_content(list(train_maps)),

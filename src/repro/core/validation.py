@@ -13,47 +13,39 @@ Protocols (paper §IV-B):
   remaining data (**CLEAR w/o FT**), other clusters' checkpoints give
   **RT CLEAR**, and fine-tuning with 20 % labels gives **CLEAR w FT**.
 
-Every protocol's folds are independent work units dispatched through a
-:class:`~repro.runtime.executor.Executor`: each fold carries its own
-``SeedSequence``-spawned RNG, so a parallel run is bit-identical to the
-default serial one, and a ``cache_dir`` routes fold training through
-the content-addressed checkpoint cache (counters surfaced on the
-result's ``runtime`` stats).
+Each protocol driver builds its work units — that part is protocol
+semantics: which maps train, which test, which RNG stream each fold
+consumes — and hands them to the one shared
+:func:`~repro.orchestration.folds.run_fold_plan` stage, which injects
+the :mod:`repro.runtime` executor/cache, times the dispatch, merges
+cache counters, and emits the :class:`~repro.orchestration.provenance.Provenance`
+record surfaced on every result.  Because units carry pre-spawned
+seeds, a parallel run is bit-identical to the default serial one.
 """
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..datasets.loaders import split_maps_by_fraction
 from ..datasets.wemac import WEMACDataset
-from ..runtime.executor import Executor, RuntimeStats, SerialExecutor, spawn_seeds
-from ..signals.feature_map import FeatureMap
+from ..orchestration.context import normalize_cache_dir
+from ..orchestration.folds import run_fold_plan
+from ..orchestration.grouping import (
+    group_maps_by_subject,
+    member_maps,
+    outside_maps,
+)
+from ..orchestration.provenance import Provenance
+from ..runtime.executor import Executor, RuntimeStats, spawn_seeds
 from .config import CLEARConfig
-from .pipeline import CLEAR, CLEARSystem
+from .pipeline import CLEAR
 from .results import FoldMetrics, MetricSummary
 from .trainer import fine_tune, train_on_maps_cached
-
-
-def _maps_by_subject(
-    dataset: WEMACDataset, exclude: Optional[int] = None
-) -> Dict[int, List[FeatureMap]]:
-    return {
-        s.subject_id: list(s.maps)
-        for s in dataset.subjects
-        if s.subject_id != exclude
-    }
-
-
-def _runtime_stats(executor: Executor, units: int) -> RuntimeStats:
-    return RuntimeStats(
-        executor=executor.name, workers=executor.workers, units=units
-    )
 
 
 # -- general model --------------------------------------------------------
@@ -90,8 +82,7 @@ def evaluate_general_model(
     how the paper chose x = 11 for fair comparison.
     """
     config = config or CLEARConfig()
-    executor = executor or SerialExecutor()
-    cache_dir = None if cache_dir is None else str(cache_dir)
+    cache_dir = normalize_cache_dir(cache_dir)
     rng = np.random.default_rng(config.seed)
     if group_size is None:
         group_size = max(2, dataset.num_subjects // config.num_clusters)
@@ -112,13 +103,21 @@ def evaluate_general_model(
             (held_out.subject_id, train_maps, list(held_out.maps), config, cache_dir)
         )
 
-    t0 = _time.perf_counter()
-    stats = _runtime_stats(executor, len(units))
-    summary = MetricSummary("General Model", runtime=stats)
-    for fold, hits, misses in executor.map(_general_fold_unit, units):
+    plan = run_fold_plan(
+        "general_model_folds",
+        units,
+        _general_fold_unit,
+        cache_counts=lambda result: (result[1], result[2]),
+        executor=executor,
+        cache_dir=cache_dir,
+        config=config,
+        seed=config.seed,
+    )
+    summary = MetricSummary(
+        "General Model", runtime=plan.stats, provenance=plan.provenance
+    )
+    for fold, _, _ in plan.results:
         summary.add(fold)
-        stats.merge_counts(hits, misses)
-    stats.wall_time_s = _time.perf_counter() - t0
     return summary
 
 
@@ -132,13 +131,17 @@ class CLValidationResult:
     rt_cl: MetricSummary
     cluster_sizes: List[int] = field(default_factory=list)
     runtime: Optional[RuntimeStats] = None
+    provenance: Optional[Provenance] = None
+
+    def __repro_content__(self) -> Tuple:
+        return ("CLValidationResult", self.cl, self.rt_cl, tuple(self.cluster_sizes))
 
 
 def _cl_fold_unit(
     args: Tuple,
 ) -> Tuple[FoldMetrics, Optional[FoldMetrics], int, int]:
     """One intra-cluster LOSO fold plus its cross-cluster RT evaluation."""
-    held_out, train_maps, test_maps, outside_maps, config, cache_dir = args
+    held_out, train_maps, test_maps, rt_maps, config, cache_dir = args
     model, hits, misses = train_on_maps_cached(
         train_maps,
         model_config=config.model,
@@ -149,8 +152,8 @@ def _cl_fold_unit(
     metrics = model.evaluate(test_maps)
     cl_fold = FoldMetrics(metrics["accuracy"], metrics["f1"], fold_id=held_out)
     rt_fold = None
-    if outside_maps:
-        rt = model.evaluate(outside_maps)
+    if rt_maps:
+        rt = model.evaluate(rt_maps)
         rt_fold = FoldMetrics(rt["accuracy"], rt["f1"], fold_id=held_out)
     return cl_fold, rt_fold, hits, misses
 
@@ -170,9 +173,8 @@ def cl_validation(
     structure.
     """
     config = config or CLEARConfig()
-    executor = executor or SerialExecutor()
-    cache_dir = None if cache_dir is None else str(cache_dir)
-    maps_by = _maps_by_subject(dataset)
+    cache_dir = normalize_cache_dir(cache_dir)
+    maps_by = group_maps_by_subject(dataset)
 
     from ..clustering.global_clustering import GlobalClustering
 
@@ -186,39 +188,43 @@ def cl_validation(
     units = []
     for cluster in range(config.num_clusters):
         member_ids = gc.members(cluster)
-        outside_maps = [
-            m
-            for sid, maps in maps_by.items()
-            if sid not in member_ids
-            for m in maps
-        ]
+        rt_maps = outside_maps(maps_by, member_ids)
         for held_out in member_ids:
             if max_folds is not None and len(units) >= max_folds:
                 break
-            train_maps = [
-                m for sid in member_ids if sid != held_out for m in maps_by[sid]
-            ]
+            train_maps = member_maps(maps_by, member_ids, exclude=held_out)
             if len(train_maps) < 2:
                 continue  # singleton cluster: no intra-cluster LOSO possible
             units.append(
-                (held_out, train_maps, maps_by[held_out], outside_maps, config, cache_dir)
+                (held_out, train_maps, maps_by[held_out], rt_maps, config, cache_dir)
             )
 
-    t0 = _time.perf_counter()
-    stats = _runtime_stats(executor, len(units))
-    cl_summary = MetricSummary("CL validation", runtime=stats)
-    rt_summary = MetricSummary("RT CL", runtime=stats)
-    for cl_fold, rt_fold, hits, misses in executor.map(_cl_fold_unit, units):
+    plan = run_fold_plan(
+        "cl_validation_folds",
+        units,
+        _cl_fold_unit,
+        cache_counts=lambda result: (result[2], result[3]),
+        executor=executor,
+        cache_dir=cache_dir,
+        config=config,
+        seed=config.seed,
+    )
+    cl_summary = MetricSummary(
+        "CL validation", runtime=plan.stats, provenance=plan.provenance
+    )
+    rt_summary = MetricSummary(
+        "RT CL", runtime=plan.stats, provenance=plan.provenance
+    )
+    for cl_fold, rt_fold, _, _ in plan.results:
         cl_summary.add(cl_fold)
         if rt_fold is not None:
             rt_summary.add(rt_fold)
-        stats.merge_counts(hits, misses)
-    stats.wall_time_s = _time.perf_counter() - t0
     return CLValidationResult(
         cl=cl_summary,
         rt_cl=rt_summary,
         cluster_sizes=gc.cluster_sizes(),
-        runtime=stats,
+        runtime=plan.stats,
+        provenance=plan.provenance,
     )
 
 
@@ -234,6 +240,17 @@ class CLEARValidationResult:
     assignments: Dict[int, int] = field(default_factory=dict)
     assignment_matches_gc: Dict[int, bool] = field(default_factory=dict)
     runtime: Optional[RuntimeStats] = None
+    provenance: Optional[Provenance] = None
+
+    def __repro_content__(self) -> Tuple:
+        return (
+            "CLEARValidationResult",
+            self.without_ft,
+            self.rt_clear,
+            self.with_ft,
+            tuple(sorted(self.assignments.items())),
+            tuple(sorted(self.assignment_matches_gc.items())),
+        )
 
 
 def _clear_fold_unit(args: Tuple) -> Dict[str, object]:
@@ -330,8 +347,7 @@ def clear_validation(
     orders of magnitude faster.
     """
     config = config or CLEARConfig()
-    executor = executor or SerialExecutor()
-    cache_dir = None if cache_dir is None else str(cache_dir)
+    cache_dir = normalize_cache_dir(cache_dir)
 
     subjects = dataset.subjects if max_folds is None else dataset.subjects[:max_folds]
     seeds = spawn_seeds(config.seed, len(subjects))
@@ -341,7 +357,7 @@ def clear_validation(
             (
                 record.subject_id,
                 list(record.maps),
-                _maps_by_subject(dataset, exclude=record.subject_id),
+                group_maps_by_subject(dataset, exclude=record.subject_id),
                 config,
                 seed,
                 with_fine_tuning,
@@ -349,17 +365,28 @@ def clear_validation(
             )
         )
 
-    t0 = _time.perf_counter()
-    stats = _runtime_stats(executor, len(units))
-    wo_ft = MetricSummary("CLEAR w/o FT", runtime=stats)
-    rt = MetricSummary("RT CLEAR", runtime=stats)
+    plan = run_fold_plan(
+        "clear_validation_folds",
+        units,
+        _clear_fold_unit,
+        cache_counts=lambda fold: (fold["hits"], fold["misses"]),
+        executor=executor,
+        cache_dir=cache_dir,
+        config=config,
+        seed=config.seed,
+    )
+    wo_ft = MetricSummary(
+        "CLEAR w/o FT", runtime=plan.stats, provenance=plan.provenance
+    )
+    rt = MetricSummary("RT CLEAR", runtime=plan.stats, provenance=plan.provenance)
     w_ft = (
-        MetricSummary("CLEAR w FT", runtime=stats) if with_fine_tuning else None
+        MetricSummary("CLEAR w FT", runtime=plan.stats, provenance=plan.provenance)
+        if with_fine_tuning
+        else None
     )
     assignments: Dict[int, int] = {}
     matches: Dict[int, bool] = {}
-
-    for fold in executor.map(_clear_fold_unit, units):
+    for fold in plan.results:
         assignments[fold["v_x"]] = fold["cluster"]
         matches[fold["v_x"]] = fold["match"]
         wo_ft.add(fold["wo"])
@@ -367,8 +394,6 @@ def clear_validation(
             rt.add(fold["rt"])
         if w_ft is not None and fold["ft"] is not None:
             w_ft.add(fold["ft"])
-        stats.merge_counts(fold["hits"], fold["misses"])
-    stats.wall_time_s = _time.perf_counter() - t0
 
     return CLEARValidationResult(
         without_ft=wo_ft,
@@ -376,5 +401,6 @@ def clear_validation(
         with_ft=w_ft,
         assignments=assignments,
         assignment_matches_gc=matches,
-        runtime=stats,
+        runtime=plan.stats,
+        provenance=plan.provenance,
     )

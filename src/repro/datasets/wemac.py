@@ -16,7 +16,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..runtime.executor import Executor, RuntimeStats, SerialExecutor
+from ..orchestration.graph import PipelineGraph
+from ..orchestration.stage import Stage, StageContext
+from ..runtime.executor import Executor, RuntimeStats
 from ..signals.feature_map import (
     FeatureMap,
     SubjectExtractionUnit,
@@ -124,6 +126,29 @@ class WEMACDataset:
     #: How generation ran (executor shape, extraction cache hits/misses);
     #: None for datasets loaded from disk or built by hand.
     runtime: Optional[RuntimeStats] = None
+    #: Lineage of the generation graph (simulate → extract stages);
+    #: empty for datasets built by hand.
+    provenance: tuple = ()
+
+    def __repro_content__(self):
+        # Stable content: the config and every generated feature map.
+        # Runtime stats and provenance carry wall times and must never
+        # shift the dataset's digest.
+        return (
+            "WEMACDataset",
+            self.config,
+            tuple(
+                (
+                    record.subject_id,
+                    record.profile.archetype_id,
+                    tuple(
+                        (m.values, int(m.label), int(m.subject_id))
+                        for m in record.maps
+                    ),
+                )
+                for record in self.subjects
+            ),
+        )
 
     @property
     def num_subjects(self) -> int:
@@ -204,52 +229,87 @@ class SyntheticWEMAC:
         import time as _time
 
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        simulator = PhysiologicalSimulator(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt)
-        executor = executor or SerialExecutor()
         t0 = _time.perf_counter()
 
-        # Phase 1 (serial): sample subjects and simulate raw recordings.
-        # Extraction consumes no randomness, so hoisting it out of this
-        # loop leaves the RNG stream — and thus the corpus — unchanged.
-        plan = _archetype_plan(cfg)
-        profiles = []
-        schedules = []
-        units: List[SubjectExtractionUnit] = []
-        for subject_id, archetype_id in enumerate(plan):
-            profile = sample_subject(
-                subject_id, archetype_id, rng, jitter=cfg.subject_jitter
-            )
-            schedule = balanced_schedule(
-                cfg.trials_per_subject, cfg.trial_seconds, rng
-            )
-            raw_trials = simulator.simulate_schedule(profile, schedule, rng)
-            profiles.append(profile)
-            schedules.append(schedule)
-            units.append(
-                SubjectExtractionUnit(
-                    subject_id=subject_id,
-                    trials=list(raw_trials),
-                    labels=[t.label for t in schedule.trials],
-                    windows_per_map=cfg.windows_per_map,
-                    rates=(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt),
-                    window_seconds=cfg.window_seconds,
-                    cache_dir=None if cache_dir is None else str(cache_dir),
+        def _simulate_stage(ctx: StageContext):
+            # Serial by design: every subject draws from the one corpus
+            # RNG stream.  Extraction consumes no randomness, so
+            # deferring it to the next stage leaves the stream — and
+            # thus the corpus — unchanged.
+            rng = np.random.default_rng(cfg.seed)
+            simulator = PhysiologicalSimulator(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt)
+            plan = _archetype_plan(cfg)
+            profiles = []
+            schedules = []
+            units: List[SubjectExtractionUnit] = []
+            for subject_id, archetype_id in enumerate(plan):
+                profile = sample_subject(
+                    subject_id, archetype_id, rng, jitter=cfg.subject_jitter
                 )
-            )
+                schedule = balanced_schedule(
+                    cfg.trials_per_subject, cfg.trial_seconds, rng
+                )
+                raw_trials = simulator.simulate_schedule(profile, schedule, rng)
+                profiles.append(profile)
+                schedules.append(schedule)
+                units.append(
+                    SubjectExtractionUnit(
+                        subject_id=subject_id,
+                        trials=list(raw_trials),
+                        labels=[t.label for t in schedule.trials],
+                        windows_per_map=cfg.windows_per_map,
+                        rates=(cfg.fs_bvp, cfg.fs_gsr, cfg.fs_skt),
+                        window_seconds=cfg.window_seconds,
+                        cache_dir=ctx.cache_dir,
+                    )
+                )
+            ctx.set_units(len(units))
+            return profiles, schedules, units
 
-        # Phase 2 (fanned out): per-subject feature extraction.
-        results = executor.map(extract_subject_maps, units)
-        subjects = [
-            SubjectRecord(profile, schedule, result.maps)
-            for profile, schedule, result in zip(profiles, schedules, results)
-        ]
-        stats = RuntimeStats(
-            executor=executor.name,
-            workers=executor.workers,
-            units=len(units),
-            wall_time_s=_time.perf_counter() - t0,
+        def _extract_stage(ctx: StageContext, simulated):
+            profiles, schedules, units = simulated
+            ctx.set_units(len(units))
+            results = ctx.executor.map(extract_subject_maps, units)
+            for result in results:
+                ctx.record_cache(result.cache_hits, result.cache_misses)
+            return [
+                SubjectRecord(profile, schedule, result.maps)
+                for profile, schedule, result in zip(profiles, schedules, results)
+            ]
+
+        graph = PipelineGraph(
+            "wemac_generate",
+            [
+                Stage(
+                    name="simulated",
+                    fn=_simulate_stage,
+                    config=cfg,
+                    seed=cfg.seed,
+                ),
+                Stage(
+                    name="subjects",
+                    fn=_extract_stage,
+                    requires=("simulated",),
+                    config=cfg,
+                    seed=cfg.seed,
+                ),
+            ],
         )
-        for result in results:
-            stats.merge_counts(result.cache_hits, result.cache_misses)
-        return WEMACDataset(config=cfg, subjects=subjects, runtime=stats)
+        run = graph.run(executor=executor, cache_dir=cache_dir, seed=cfg.seed)
+        extract_prov = run.provenance("subjects")
+        stats = RuntimeStats(
+            executor=extract_prov.executor,
+            workers=extract_prov.workers,
+            units=extract_prov.units,
+            wall_time_s=_time.perf_counter() - t0,
+            cache_hits=extract_prov.cache_hits,
+            cache_misses=extract_prov.cache_misses,
+        )
+        return WEMACDataset(
+            config=cfg,
+            subjects=run.value("subjects"),
+            runtime=stats,
+            provenance=tuple(
+                run.provenance(name) for name in ("simulated", "subjects")
+            ),
+        )

@@ -65,3 +65,13 @@ class CacheError(ResilienceError):
     the message; a *miss* is never an error (it returns ``None``), only
     corruption or an unusable cache directory is.
     """
+
+
+class OrchestrationError(ResilienceError):
+    """A pipeline graph is malformed or a stage broke its contract.
+
+    Raised by :mod:`repro.orchestration` when a graph declares duplicate
+    or missing artifacts, contains a dependency cycle, or a stage's
+    output fails its boundary guard.  The message always names the
+    offending stage or artifact.
+    """

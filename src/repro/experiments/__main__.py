@@ -58,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the reports to a JSON file"
     )
     parser.add_argument(
+        "--provenance",
+        metavar="PATH",
+        help=(
+            "write every experiment's pipeline lineage (stage digests, "
+            "seeds, executor shape, cache traffic) to a JSON file; "
+            "digests are reproducible across same-seed re-runs"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -112,6 +121,9 @@ def main(argv=None) -> int:
     if args.json:
         path = registry.save_json(args.json)
         print(f"\nreports written to {path}")
+    if args.provenance:
+        path = registry.save_provenance(args.provenance)
+        print(f"\nprovenance written to {path}")
     return 0 if registry.all_checks_pass else 1
 
 

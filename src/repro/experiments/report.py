@@ -27,6 +27,11 @@ class ExperimentReport:
         they exist), for side-by-side comparison.
     checks:
         Name -> bool for each reproduction ordering verified.
+    provenance:
+        Lineage of the pipeline graph that produced the report: one
+        :meth:`~repro.orchestration.provenance.Provenance.as_dict`
+        record per artifact, in production order (content digests,
+        seeds, executor shape, cache traffic).
     """
 
     experiment_id: str
@@ -35,6 +40,7 @@ class ExperimentReport:
     measured: Dict = field(default_factory=dict)
     paper: Dict = field(default_factory=dict)
     checks: Dict[str, bool] = field(default_factory=dict)
+    provenance: List[Dict] = field(default_factory=list)
 
     @property
     def all_checks_pass(self) -> bool:
@@ -51,7 +57,20 @@ class ExperimentReport:
             "measured": self.measured,
             "paper": self.paper,
             "checks": self.checks,
+            "provenance": self.provenance,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentReport":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            text=data["text"],
+            measured=data.get("measured", {}),
+            paper=data.get("paper", {}),
+            checks=data.get("checks", {}),
+            provenance=data.get("provenance", []),
+        )
 
     def save_json(self, path: Union[str, Path]) -> Path:
         path = Path(path)
@@ -95,4 +114,25 @@ class ReportRegistry:
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as f:
             json.dump([r.to_dict() for r in self.reports], f, indent=2)
+        return path
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "ReportRegistry":
+        """Reload a registry previously written by :meth:`save_json`."""
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+        return cls(reports=[ExperimentReport.from_dict(d) for d in data])
+
+    def save_provenance(self, path: Union[str, Path]) -> Path:
+        """Write only the lineage: ``{experiment_id: [provenance, ...]}``.
+
+        The digests are content-addressed and exclude wall times and
+        cache hit/miss counts, so a same-seed re-run of the same code
+        reproduces every digest even though its timing fields differ.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lineage = {r.experiment_id: r.provenance for r in self.reports}
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(lineage, f, indent=2)
         return path

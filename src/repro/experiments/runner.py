@@ -25,7 +25,14 @@ from ..core import (
 from ..core.trainer import train_on_maps
 from ..datasets import SyntheticWEMAC, WEMACConfig, split_maps_by_fraction
 from ..edge import ALL_DEVICES, EdgeDeployment, profile_model
-from ..runtime import Executor, make_executor
+from ..orchestration import (
+    PipelineGraph,
+    Stage,
+    executor_for_workers,
+    group_maps_by_subject,
+    member_maps,
+)
+from ..runtime import Executor
 from ..signals import (
     BVP_FEATURE_NAMES,
     GSR_FEATURE_NAMES,
@@ -56,7 +63,9 @@ class ExperimentScale:
     cache_dir: Optional[str] = None
 
     def executor(self) -> Executor:
-        return make_executor(self.workers)
+        # Built through the orchestration context — the single injection
+        # point for runtime machinery (RPR009).
+        return executor_for_workers(self.workers)
 
     @staticmethod
     def bench(seed: int = 2) -> "ExperimentScale":
@@ -91,33 +100,80 @@ def _generate(scale: ExperimentScale):
 def run_table1(
     scale: Optional[ExperimentScale] = None, dataset=None
 ) -> ExperimentReport:
-    """Table I: all six measured validation rows + orderings."""
+    """Table I: all six measured validation rows + orderings.
+
+    The three validation protocols are declared as stages of one
+    :class:`~repro.orchestration.graph.PipelineGraph` over the shared
+    ``corpus`` artifact: the executor / cache are injected once at the
+    stage boundary and every row's lineage lands in the report's
+    ``provenance``.
+    """
     scale = scale or ExperimentScale.bench()
     dataset = dataset if dataset is not None else _generate(scale)
 
-    executor = scale.executor()
-    general = evaluate_general_model(
-        dataset,
-        scale.clear,
-        group_size=max(2, dataset.num_subjects // scale.clear.num_clusters),
-        max_folds=scale.max_folds,
-        executor=executor,
-        cache_dir=scale.cache_dir,
+    def _general_stage(ctx, corpus):
+        return evaluate_general_model(
+            corpus,
+            scale.clear,
+            group_size=max(2, corpus.num_subjects // scale.clear.num_clusters),
+            max_folds=scale.max_folds,
+            executor=ctx.executor,
+            cache_dir=ctx.cache_dir,
+        )
+
+    def _cl_stage(ctx, corpus):
+        return cl_validation(
+            corpus,
+            scale.clear,
+            max_folds=None if scale.max_folds is None else 2 * scale.max_folds,
+            executor=ctx.executor,
+            cache_dir=ctx.cache_dir,
+        )
+
+    def _clear_stage(ctx, corpus):
+        return clear_validation(
+            corpus,
+            scale.clear,
+            max_folds=scale.max_folds,
+            executor=ctx.executor,
+            cache_dir=ctx.cache_dir,
+        )
+
+    graph = PipelineGraph(
+        "table1",
+        [
+            Stage(
+                "general",
+                _general_stage,
+                requires=("corpus",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            ),
+            Stage(
+                "cl",
+                _cl_stage,
+                requires=("corpus",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            ),
+            Stage(
+                "clear",
+                _clear_stage,
+                requires=("corpus",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            ),
+        ],
     )
-    cl = cl_validation(
-        dataset,
-        scale.clear,
-        max_folds=None if scale.max_folds is None else 2 * scale.max_folds,
-        executor=executor,
+    run = graph.run(
+        initial={"corpus": dataset},
+        executor=scale.executor(),
         cache_dir=scale.cache_dir,
+        seed=scale.clear.seed,
     )
-    clear = clear_validation(
-        dataset,
-        scale.clear,
-        max_folds=scale.max_folds,
-        executor=executor,
-        cache_dir=scale.cache_dir,
-    )
+    general = run.value("general")
+    cl = run.value("cl")
+    clear = run.value("clear")
 
     rows = [general, cl.rt_cl, cl.cl, clear.rt_clear, clear.without_ft, clear.with_ft]
     text = render_table(
@@ -146,6 +202,7 @@ def run_table1(
         measured=measured,
         paper={**PAPER_TABLE1_RESULTS, **PAPER_TABLE1_REFERENCES},
         checks=checks,
+        provenance=run.lineage(),
     )
 
 
@@ -159,11 +216,7 @@ def _edge_folds(scale: ExperimentScale, dataset):
         else dataset.subjects[: scale.max_folds]
     )
     for record in subjects:
-        population = {
-            s.subject_id: list(s.maps)
-            for s in dataset.subjects
-            if s.subject_id != record.subject_id
-        }
+        population = group_maps_by_subject(dataset, exclude=record.subject_id)
         system = CLEAR(scale.clear, cache_dir=scale.cache_dir).fit(population)
         ca_maps, held_back = split_maps_by_fraction(
             record.maps, scale.clear.ca_data_fraction, rng, stratified=False
@@ -179,11 +232,9 @@ def _edge_folds(scale: ExperimentScale, dataset):
         tuned = fine_tune(
             checkpoint, ft_maps, scale.clear.fine_tuning, seed=scale.clear.seed
         )
-        calibration = [
-            m
-            for sid in system.gc.members(assignment.cluster)
-            for m in population[sid]
-        ][:12]
+        calibration = member_maps(
+            population, system.gc.members(assignment.cluster)
+        )[:12]
         folds.append(
             {
                 "checkpoint": checkpoint,
@@ -226,7 +277,27 @@ def run_table2_upper(
     dataset = dataset if dataset is not None else _generate(scale)
     folds = folds if folds is not None else _edge_folds(scale, dataset)
 
-    results = _platform_accuracy(folds, use_tuned=False)
+    graph = PipelineGraph(
+        "table2_upper",
+        [
+            Stage(
+                "platform_accuracy",
+                lambda ctx, edge_folds: _platform_accuracy(
+                    edge_folds, use_tuned=False
+                ),
+                requires=("edge_folds",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            )
+        ],
+    )
+    run = graph.run(
+        initial={"edge_folds": folds},
+        executor=scale.executor(),
+        cache_dir=scale.cache_dir,
+        seed=scale.clear.seed,
+    )
+    results = run.value("platform_accuracy")
     paper = {
         "gpu": {"accuracy": 80.63, "f1": 79.97},
         "coral_tpu": {"accuracy": 74.17, "f1": 73.57},
@@ -255,6 +326,7 @@ def run_table2_upper(
         measured=results,
         paper=paper,
         checks=checks,
+        provenance=run.lineage(),
     )
 
 
@@ -266,26 +338,57 @@ def run_table2_lower(
     dataset = dataset if dataset is not None else _generate(scale)
     folds = folds if folds is not None else _edge_folds(scale, dataset)
 
-    results = _platform_accuracy(folds, use_tuned=True)
-    # Cost model rows (identical across folds up to ft_examples).
-    costs = {}
-    for key, device in ALL_DEVICES.items():
-        fold = folds[0]
-        deployment = EdgeDeployment(
-            fold["tuned"], device, calibration_maps=fold["calibration"]
-        )
-        report = deployment.cost_report(
-            fold["test_maps"],
-            ft_examples=fold["ft_examples"],
-            ft_epochs=scale.clear.fine_tuning.epochs,
-        )
-        costs[key] = {
-            "test_ms": report.test_time_s * 1e3,
-            "retrain_s": report.retrain_time_s,
-            "p_idle": report.power_idle_w,
-            "p_test": report.power_test_w,
-            "p_retrain": report.power_retrain_w,
-        }
+    def _cost_stage(ctx, edge_folds):
+        # Cost model rows (identical across folds up to ft_examples).
+        costs = {}
+        for key, device in ALL_DEVICES.items():
+            fold = edge_folds[0]
+            deployment = EdgeDeployment(
+                fold["tuned"], device, calibration_maps=fold["calibration"]
+            )
+            report = deployment.cost_report(
+                fold["test_maps"],
+                ft_examples=fold["ft_examples"],
+                ft_epochs=scale.clear.fine_tuning.epochs,
+            )
+            costs[key] = {
+                "test_ms": report.test_time_s * 1e3,
+                "retrain_s": report.retrain_time_s,
+                "p_idle": report.power_idle_w,
+                "p_test": report.power_test_w,
+                "p_retrain": report.power_retrain_w,
+            }
+        return costs
+
+    graph = PipelineGraph(
+        "table2_lower",
+        [
+            Stage(
+                "ft_accuracy",
+                lambda ctx, edge_folds: _platform_accuracy(
+                    edge_folds, use_tuned=True
+                ),
+                requires=("edge_folds",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            ),
+            Stage(
+                "cost_model",
+                _cost_stage,
+                requires=("edge_folds",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            ),
+        ],
+    )
+    run = graph.run(
+        initial={"edge_folds": folds},
+        executor=scale.executor(),
+        cache_dir=scale.cache_dir,
+        seed=scale.clear.seed,
+    )
+    results = run.value("ft_accuracy")
+    costs = run.value("cost_model")
     paper = {
         "gpu": {"accuracy": 86.34, "f1": 86.03},
         "coral_tpu": {
@@ -327,7 +430,28 @@ def run_table2_lower(
         measured={"accuracy": results, "costs": costs},
         paper=paper,
         checks=checks,
+        provenance=run.lineage(),
     )
+
+
+@dataclass
+class _Fig1Walkthrough:
+    """Fig. 1 stage output: measured timings + the deterministic outcome.
+
+    Wall-clock timings vary run to run, so the provenance digest covers
+    only the deterministic outcome — same seed, same digest.
+    """
+
+    timings: Dict[str, float]
+    cluster: int
+    metrics: Dict[str, float]
+
+    def __repro_content__(self):
+        return (
+            "Fig1Walkthrough",
+            self.cluster,
+            tuple(sorted(self.metrics.items())),
+        )
 
 
 def run_fig1_pipeline(
@@ -337,36 +461,57 @@ def run_fig1_pipeline(
     scale = scale or ExperimentScale.bench()
     dataset = dataset if dataset is not None else _generate(scale)
 
-    record = dataset.subjects[0]
-    population = {
-        s.subject_id: list(s.maps)
-        for s in dataset.subjects
-        if s.subject_id != record.subject_id
-    }
-    timings: Dict[str, float] = {}
+    def _walkthrough_stage(ctx, corpus):
+        record = corpus.subjects[0]
+        population = group_maps_by_subject(corpus, exclude=record.subject_id)
+        timings: Dict[str, float] = {}
 
-    t0 = time.perf_counter()
-    system = CLEAR(
-        scale.clear, executor=scale.executor(), cache_dir=scale.cache_dir
-    ).fit(population)
-    timings["cloud_fit_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        system = CLEAR(
+            scale.clear, executor=ctx.executor, cache_dir=ctx.cache_dir
+        ).fit(population)
+        timings["cloud_fit_s"] = time.perf_counter() - t0
 
-    rng = np.random.default_rng(scale.clear.seed)
-    ca_maps, held_back = split_maps_by_fraction(
-        record.maps, scale.clear.ca_data_fraction, rng, stratified=False
+        rng = np.random.default_rng(scale.clear.seed)
+        ca_maps, held_back = split_maps_by_fraction(
+            record.maps, scale.clear.ca_data_fraction, rng, stratified=False
+        )
+        t0 = time.perf_counter()
+        assignment = system.assign_new_user(ca_maps)
+        timings["edge_assignment_s"] = time.perf_counter() - t0
+
+        ft_maps, test_maps = split_maps_by_fraction(held_back, 0.25, rng)
+        t0 = time.perf_counter()
+        tuned = system.personalize(ft_maps, cluster=assignment.cluster)
+        timings["edge_finetune_s"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        metrics = tuned.evaluate(test_maps)
+        timings["edge_inference_s"] = time.perf_counter() - t0
+        return _Fig1Walkthrough(
+            timings=timings, cluster=assignment.cluster, metrics=metrics
+        )
+
+    graph = PipelineGraph(
+        "fig1",
+        [
+            Stage(
+                "walkthrough",
+                _walkthrough_stage,
+                requires=("corpus",),
+                config=scale.clear,
+                seed=scale.clear.seed,
+            )
+        ],
     )
-    t0 = time.perf_counter()
-    assignment = system.assign_new_user(ca_maps)
-    timings["edge_assignment_s"] = time.perf_counter() - t0
-
-    ft_maps, test_maps = split_maps_by_fraction(held_back, 0.25, rng)
-    t0 = time.perf_counter()
-    tuned = system.personalize(ft_maps, cluster=assignment.cluster)
-    timings["edge_finetune_s"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    metrics = tuned.evaluate(test_maps)
-    timings["edge_inference_s"] = time.perf_counter() - t0
+    run = graph.run(
+        initial={"corpus": dataset},
+        executor=scale.executor(),
+        cache_dir=scale.cache_dir,
+        seed=scale.clear.seed,
+    )
+    walk = run.value("walkthrough")
+    timings, metrics = walk.timings, walk.metrics
 
     lines = ["Fig. 1 -- CLEAR two-stage pipeline walkthrough"]
     lines.append(f"  cloud: clustering + pre-training  {timings['cloud_fit_s']:8.2f} s")
@@ -378,7 +523,7 @@ def run_fig1_pipeline(
         f"  edge: inference                   {timings['edge_inference_s'] * 1e3:8.2f} ms"
     )
     lines.append(
-        f"  result: cluster {assignment.cluster}, accuracy {metrics['accuracy']:.2%}"
+        f"  result: cluster {walk.cluster}, accuracy {metrics['accuracy']:.2%}"
     )
     checks = {
         "cloud_dominates": timings["cloud_fit_s"] > timings["edge_finetune_s"],
@@ -390,6 +535,7 @@ def run_fig1_pipeline(
         text="\n".join(lines),
         measured=timings,
         checks=checks,
+        provenance=run.lineage(),
     )
 
 
@@ -398,8 +544,16 @@ def run_fig2_architecture(
 ) -> ExperimentReport:
     """Fig. 2: the CNN-LSTM at paper input scale."""
     input_shape = (1, 123, 8)
-    model = build_cnn_lstm(input_shape, seed=0)
-    profile = profile_model(model, input_shape)
+
+    def _profile_stage(ctx):
+        model = build_cnn_lstm(input_shape, seed=0)
+        return model, profile_model(model, input_shape)
+
+    graph = PipelineGraph(
+        "fig2", [Stage("architecture_profile", _profile_stage, seed=0)]
+    )
+    run = graph.run(seed=0)
+    model, profile = run.value("architecture_profile")
     text = (
         "Fig. 2 -- CNN-LSTM architecture (123 x 8 feature maps)\n"
         + architecture_summary(input_shape)
@@ -423,6 +577,7 @@ def run_fig2_architecture(
             "int8_kib": profile.memory_bytes(1) / 1024,
         },
         checks=checks,
+        provenance=run.lineage(),
     )
 
 
@@ -432,10 +587,32 @@ def run_setup_statistics(
     """Section IV-A: corpus statistics and K = 4 cluster sizes."""
     scale = scale or ExperimentScale.bench()
     dataset = dataset if dataset is not None else _generate(scale)
-    summary = dataset.summary()
-    maps_by = {s.subject_id: list(s.maps) for s in dataset.subjects}
-    gc = GlobalClustering(k=scale.clear.num_clusters, seed=0).fit(maps_by)
-    sizes = sorted(gc.cluster_sizes(), reverse=True)
+
+    def _stats_stage(ctx, corpus):
+        gc = GlobalClustering(k=scale.clear.num_clusters, seed=0).fit(
+            group_maps_by_subject(corpus)
+        )
+        return corpus.summary(), sorted(gc.cluster_sizes(), reverse=True)
+
+    graph = PipelineGraph(
+        "setup",
+        [
+            Stage(
+                "setup_statistics",
+                _stats_stage,
+                requires=("corpus",),
+                config=scale.clear,
+                seed=0,
+            )
+        ],
+    )
+    run = graph.run(
+        initial={"corpus": dataset},
+        executor=scale.executor(),
+        cache_dir=scale.cache_dir,
+        seed=0,
+    )
+    summary, sizes = run.value("setup_statistics")
     text = (
         "Section IV-A -- setup statistics\n"
         f"  volunteers: {int(summary['num_subjects'])}\n"
@@ -459,6 +636,7 @@ def run_setup_statistics(
         text=text,
         measured={**summary, "cluster_sizes": sizes},
         checks=checks,
+        provenance=run.lineage(),
     )
 
 

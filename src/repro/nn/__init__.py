@@ -8,7 +8,13 @@ by numerical gradient checks in the test suite.
 """
 
 from . import activations, initializers
-from .callbacks import BestWeights, Callback, EarlyStopping, History
+from .callbacks import (
+    BestWeights,
+    Callback,
+    EarlyStopping,
+    EpochLogger,
+    History,
+)
 from .callbacks_extra import CSVLogger, LambdaCallback, ReduceLROnPlateau
 from .checkpoint import load_model, model_from_config, model_to_config, save_model
 from .layers import (
@@ -94,6 +100,7 @@ __all__ = [
     "iterate_minibatches",
     "Callback",
     "History",
+    "EpochLogger",
     "EarlyStopping",
     "BestWeights",
     "ReduceLROnPlateau",

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import copy
+import logging
 from typing import Dict, List, Optional
 
 import numpy as np
+
+logger = logging.getLogger("repro.nn")
 
 
 class Callback:
@@ -40,6 +43,23 @@ class History(Callback):
     def series(self, key: str) -> List[float]:
         """Extract one metric across epochs (missing epochs skipped)."""
         return [e[key] for e in self.epochs if key in e]
+
+
+class EpochLogger(Callback):
+    """Emit per-epoch training progress through the ``repro.nn`` logger.
+
+    This is the logging path behind ``Sequential.fit(verbose=True)``;
+    attach it explicitly to pick a different level or logger handler.
+    """
+
+    def __init__(self, total_epochs: Optional[int] = None, level: int = logging.INFO):
+        self.total_epochs = total_epochs
+        self.level = int(level)
+
+    def on_epoch_end(self, model, epoch: int, logs: Dict[str, float]) -> None:
+        parts = ", ".join(f"{k}={v:.4f}" for k, v in logs.items())
+        total = f"/{self.total_epochs}" if self.total_epochs else ""
+        logger.log(self.level, "epoch %d%s: %s", epoch + 1, total, parts)
 
 
 class EarlyStopping(Callback):

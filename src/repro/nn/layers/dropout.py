@@ -23,6 +23,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = float(rate)
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._mask: Optional[np.ndarray] = None
 
@@ -40,4 +41,7 @@ class Dropout(Layer):
         return grad_out * self._mask
 
     def get_config(self) -> Dict:
-        return {"name": self.name, "rate": self.rate}
+        # The seed must round-trip through checkpoints: rebuilding this
+        # layer from config without it would re-seed from OS entropy and
+        # make fine-tuning of a restored model nondeterministic.
+        return {"name": self.name, "rate": self.rate, "seed": self.seed}

@@ -8,7 +8,7 @@ import numpy as np
 
 from . import losses as losses_mod
 from . import optimizers as optim_mod
-from .callbacks import Callback, History
+from .callbacks import Callback, EpochLogger, History
 from .layers.base import Layer
 from .metrics import accuracy
 
@@ -168,6 +168,10 @@ class Sequential:
             raise ValueError("cannot fit on an empty dataset")
 
         callbacks = list(callbacks) if callbacks else []
+        if verbose:
+            # verbose=True is sugar for attaching the logging callback;
+            # progress goes through the "repro.nn" logger, never print().
+            callbacks.append(EpochLogger(total_epochs=epochs))
         all_callbacks: List[Callback] = [self.history] + callbacks
         self.stop_training = False
         for cb in all_callbacks:
@@ -190,9 +194,6 @@ class Sequential:
                 logs["val_accuracy"] = accuracy(np.asarray(val_y), val_logits)
             for cb in all_callbacks:
                 cb.on_epoch_end(self, epoch, logs)
-            if verbose:
-                parts = ", ".join(f"{k}={v:.4f}" for k, v in logs.items())
-                print(f"epoch {epoch + 1}/{epochs}: {parts}")
             if any(cb.stop_training for cb in all_callbacks):
                 self.stop_training = True
                 break

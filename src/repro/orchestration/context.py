@@ -1,0 +1,45 @@
+"""Runtime injection at stage boundaries.
+
+This module is the *only* place outside :mod:`repro.runtime` allowed to
+construct executors and content caches (lint rule RPR009 enforces
+this).  Every other layer receives an executor / cache handle that was
+resolved here — either through a :class:`~repro.orchestration.stage.StageContext`
+or through these helpers at a public entry point — so runtime wiring
+happens once, at stage boundaries, instead of being copy-pasted into
+every driver.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..runtime.cache import ContentCache, checkpoint_cache, feature_map_cache
+from ..runtime.executor import Executor, SerialExecutor, make_executor
+
+
+def resolve_executor(executor: Optional[Executor] = None) -> Executor:
+    """The given executor, or the default serial one."""
+    return executor if executor is not None else SerialExecutor()
+
+
+def executor_for_workers(workers: Optional[int] = None) -> Executor:
+    """An executor sized for ``workers`` processes (None / <=1: serial)."""
+    return make_executor(workers)
+
+
+def normalize_cache_dir(
+    cache_dir: Optional[Union[str, Path]] = None
+) -> Optional[str]:
+    """Cache directory as a plain string (picklable into work units)."""
+    return None if cache_dir is None else str(cache_dir)
+
+
+def open_feature_map_cache(cache_dir: Union[str, Path]) -> ContentCache:
+    """A handle on the feature-map namespace of ``cache_dir``."""
+    return feature_map_cache(cache_dir)
+
+
+def open_checkpoint_cache(cache_dir: Union[str, Path]) -> ContentCache:
+    """A handle on the checkpoint namespace of ``cache_dir``."""
+    return checkpoint_cache(cache_dir)

@@ -1,0 +1,217 @@
+"""Topological execution of stage graphs with provenance capture.
+
+A :class:`PipelineGraph` owns a set of :class:`~repro.orchestration.stage.Stage`
+declarations whose ``requires``/``provides`` names form a DAG.
+:meth:`PipelineGraph.run` resolves a deterministic topological order
+(Kahn's algorithm with declaration order as the tie-break), injects the
+runtime executor / cache / seed once per stage through a
+:class:`~repro.orchestration.stage.StageContext`, optionally screens
+stage outputs through the resilience feature guard, and wraps every
+produced value in an :class:`~repro.orchestration.provenance.Artifact`
+whose :class:`~repro.orchestration.provenance.Provenance` chains the
+upstream digests.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import OrchestrationError
+from ..runtime.executor import Executor
+from .context import normalize_cache_dir, resolve_executor
+from .provenance import Artifact, Provenance, artifact_digest
+from .stage import Stage, StageContext
+
+logger = logging.getLogger("repro.orchestration")
+
+
+@dataclass
+class PipelineRun:
+    """Every artifact produced by one graph execution."""
+
+    artifacts: Dict[str, Artifact] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Artifact:
+        return self.artifacts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.artifacts
+
+    def value(self, name: str) -> Any:
+        return self.artifacts[name].value
+
+    def provenance(self, name: str) -> Provenance:
+        return self.artifacts[name].provenance
+
+    def lineage(self) -> List[Dict[str, Any]]:
+        """Provenance records of every artifact, in production order."""
+        return [a.provenance.as_dict() for a in self.artifacts.values()]
+
+    def wall_time_s(self, name: str) -> float:
+        return self.artifacts[name].provenance.wall_time_s
+
+
+class PipelineGraph:
+    """A named DAG of stages, executed topologically."""
+
+    def __init__(self, name: str, stages: Optional[Sequence[Stage]] = None):
+        self.name = name
+        self.stages: List[Stage] = []
+        for stage in stages or ():
+            self.add(stage)
+
+    def add(self, stage: Stage) -> "PipelineGraph":
+        """Declare a stage; returns self for chaining."""
+        if any(s.name == stage.name for s in self.stages):
+            raise OrchestrationError(
+                f"graph {self.name!r} already has a stage named {stage.name!r}"
+            )
+        if any(s.provides == stage.provides for s in self.stages):
+            raise OrchestrationError(
+                f"graph {self.name!r} already produces artifact "
+                f"{stage.provides!r}"
+            )
+        self.stages.append(stage)
+        return self
+
+    def topological_order(
+        self, initial: Sequence[str] = ()
+    ) -> List[Stage]:
+        """Stages in dependency order (declaration order as tie-break).
+
+        ``initial`` names artifacts supplied by the caller rather than
+        produced by a stage.  Unknown requirements and dependency
+        cycles raise :class:`~repro.errors.OrchestrationError` naming
+        the offender.
+        """
+        produced = {s.provides: s for s in self.stages}
+        available = set(initial)
+        for stage in self.stages:
+            for req in stage.requires:
+                if req not in produced and req not in available:
+                    raise OrchestrationError(
+                        f"stage {stage.name!r} requires unknown artifact "
+                        f"{req!r} (not produced by any stage, not supplied "
+                        "as an initial input)"
+                    )
+        order: List[Stage] = []
+        remaining = list(self.stages)
+        while remaining:
+            ready = [
+                s
+                for s in remaining
+                if all(r in available for r in s.requires)
+            ]
+            if not ready:
+                cycle = ", ".join(s.name for s in remaining)
+                raise OrchestrationError(
+                    f"graph {self.name!r} has a dependency cycle among: {cycle}"
+                )
+            stage = ready[0]  # declaration order is the deterministic tie-break
+            order.append(stage)
+            available.add(stage.provides)
+            remaining.remove(stage)
+        return order
+
+    def run(
+        self,
+        initial: Optional[Dict[str, Any]] = None,
+        executor: Optional[Executor] = None,
+        cache_dir: Optional[Union[str, "object"]] = None,
+        seed: Optional[int] = None,
+    ) -> PipelineRun:
+        """Execute every stage once, in topological order.
+
+        ``initial`` artifacts are wrapped with an ``"input"`` stage
+        provenance so downstream lineage is complete.  The executor /
+        cache / seed are injected exactly once — stage functions only
+        ever see the :class:`StageContext`.
+        """
+        executor = resolve_executor(executor)
+        cache_dir = normalize_cache_dir(cache_dir)
+        run = PipelineRun()
+        for name, value in (initial or {}).items():
+            run.artifacts[name] = Artifact(
+                name=name,
+                value=value,
+                provenance=Provenance(
+                    stage="input", digest=artifact_digest(value)
+                ),
+            )
+
+        order = self.topological_order(initial=tuple(initial or ()))
+        for index, stage in enumerate(order):
+            ctx = StageContext(
+                executor=executor,
+                cache_dir=cache_dir,
+                seed=stage.seed if stage.seed is not None else seed,
+                seed_path=(index,),
+            )
+            inputs = {name: run.value(name) for name in stage.requires}
+            logger.debug(
+                "graph %s: stage %s (%d/%d) starting",
+                self.name,
+                stage.name,
+                index + 1,
+                len(order),
+            )
+            t0 = time.perf_counter()
+            value = stage.run(ctx, inputs)
+            wall = time.perf_counter() - t0
+            if stage.screen_output:
+                _screen_value(stage.name, value)
+            provenance = Provenance(
+                stage=stage.name,
+                digest=artifact_digest(value),
+                config_digest=(
+                    None
+                    if stage.config is None
+                    else artifact_digest(stage.config)
+                ),
+                seed=ctx.seed,
+                seed_path=ctx.seed_path,
+                inputs=tuple(
+                    (name, run.artifacts[name].digest)
+                    for name in stage.requires
+                ),
+                cache_hits=ctx._cache_hits,
+                cache_misses=ctx._cache_misses,
+                wall_time_s=wall,
+                executor=executor.name,
+                workers=executor.workers,
+                units=ctx._units,
+            )
+            run.artifacts[stage.provides] = Artifact(
+                name=stage.provides, value=value, provenance=provenance
+            )
+            logger.debug(
+                "graph %s: stage %s done in %.3fs (digest %s)",
+                self.name,
+                stage.name,
+                wall,
+                provenance.digest[:12],
+            )
+        return run
+
+
+def _screen_value(stage_name: str, value: Any) -> None:
+    """Run the resilience feature guard over a stage's output arrays."""
+    import numpy as np
+
+    from ..resilience.guards import screen_features
+
+    arrays = []
+    if isinstance(value, np.ndarray):
+        arrays.append(value)
+    elif isinstance(value, (list, tuple)):
+        arrays.extend(v for v in value if isinstance(v, np.ndarray))
+    for arr in arrays:
+        report = screen_features(arr)
+        if not report.finite:
+            raise OrchestrationError(
+                f"stage {stage_name!r} produced non-finite features: "
+                f"{len(report.bad_indices)}/{report.size} bad entries"
+            )

@@ -55,8 +55,17 @@ def _update_hash(h: "hashlib._Hash", obj: Any) -> None:
     Every value is prefixed with a type tag so e.g. the int ``1`` and
     the string ``"1"`` cannot collide, and containers hash their
     structure as well as their leaves.
+
+    Objects may define ``__repro_content__()`` returning their *stable*
+    content (volatile fields such as wall times excluded); the hook
+    takes precedence over structural traversal so provenance digests
+    stay invariant across warm/cold cache and serial/parallel runs.
     """
-    if isinstance(obj, np.ndarray):
+    hook = getattr(obj, "__repro_content__", None)
+    if callable(hook) and not isinstance(obj, type):
+        h.update(b"rc:" + type(obj).__name__.encode())
+        _update_hash(h, hook())
+    elif isinstance(obj, np.ndarray):
         arr = np.ascontiguousarray(obj)
         h.update(b"nd:")
         h.update(str(arr.dtype).encode())

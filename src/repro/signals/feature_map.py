@@ -159,9 +159,12 @@ def extract_subject_maps(unit: SubjectExtractionUnit) -> SubjectExtractionResult
 
     cache = None
     if unit.cache_dir is not None:
-        from ..runtime.cache import feature_map_cache
+        # Cache handles are opened through the orchestration context —
+        # the single injection point for runtime machinery (RPR009) —
+        # lazily, so signals stays importable without orchestration.
+        from ..orchestration.context import open_feature_map_cache
 
-        cache = feature_map_cache(unit.cache_dir)
+        cache = open_feature_map_cache(unit.cache_dir)
 
     extractor = FeatureExtractor(
         rates=SensorRates(*unit.rates),

@@ -62,6 +62,12 @@ class TestRuleFixtures:
             "from concurrent.futures import ProcessPoolExecutor\n",
             "from repro.runtime import make_executor\n",
         ),
+        "RPR009": (
+            "from repro.runtime import SerialExecutor\n"
+            "executor = SerialExecutor()\n",
+            "from repro.orchestration.context import resolve_executor\n"
+            "executor = resolve_executor(None)\n",
+        ),
     }
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
@@ -143,6 +149,36 @@ class TestRuleEdges:
     def test_relative_runtime_import_not_flagged(self):
         # ``from ..runtime import ...`` is the sanctioned way in.
         assert "RPR008" not in codes_of("from ..runtime import make_executor\n")
+
+    def test_every_runtime_constructor_flagged(self):
+        for ctor in (
+            "SerialExecutor",
+            "ParallelExecutor",
+            "make_executor",
+            "ContentCache",
+            "feature_map_cache",
+            "checkpoint_cache",
+        ):
+            assert "RPR009" in codes_of(f"x = {ctor}()\n"), ctor
+
+    def test_attribute_construction_flagged(self):
+        assert "RPR009" in codes_of(
+            "import repro.runtime as rt\nex = rt.ParallelExecutor(2)\n"
+        )
+
+    def test_runtime_and_orchestration_exempt_from_rpr009(self):
+        src = "executor = SerialExecutor()\n"
+        for pkg in ("runtime", "orchestration"):
+            findings = lint_source(src, path=f"src/repro/{pkg}/context.py")
+            assert "RPR009" not in [f.code for f in findings], pkg
+
+    def test_name_reference_without_call_allowed(self):
+        # Passing the class around (type hints, isinstance) is fine;
+        # only construction is the injection point.
+        assert "RPR009" not in codes_of(
+            "from repro.runtime import SerialExecutor\n"
+            "ok = isinstance(x, SerialExecutor)\n"
+        )
 
 
 class TestSuppression:

@@ -1,0 +1,53 @@
+"""The single runtime-injection point (RPR009's sanctioned constructors)."""
+
+from pathlib import Path
+
+from repro.orchestration import (
+    executor_for_workers,
+    normalize_cache_dir,
+    open_checkpoint_cache,
+    open_feature_map_cache,
+    resolve_executor,
+)
+from repro.runtime import ParallelExecutor, SerialExecutor
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(), SerialExecutor)
+
+    def test_given_executor_passes_through(self):
+        executor = ParallelExecutor(2)
+        assert resolve_executor(executor) is executor
+
+
+class TestExecutorForWorkers:
+    def test_none_and_one_are_serial(self):
+        assert isinstance(executor_for_workers(None), SerialExecutor)
+        assert isinstance(executor_for_workers(1), SerialExecutor)
+
+    def test_many_workers_is_parallel(self):
+        executor = executor_for_workers(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+
+class TestNormalizeCacheDir:
+    def test_none_stays_none(self):
+        assert normalize_cache_dir(None) is None
+
+    def test_path_becomes_string(self):
+        out = normalize_cache_dir(Path("/tmp/x"))
+        assert isinstance(out, str)
+        assert out.endswith("x")
+
+
+class TestOpenCaches:
+    def test_namespaces_are_distinct(self, tmp_path):
+        fm = open_feature_map_cache(tmp_path)
+        ck = open_checkpoint_cache(tmp_path)
+        key = "k" * 64
+        fm.store_object(key, {"kind": "map"})
+        assert ck.load_object(key) is None
+        assert fm.load_object(key) == {"kind": "map"}

@@ -1,0 +1,86 @@
+"""The shared per-subject grouping helpers."""
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.orchestration import (
+    group_maps_by_subject,
+    iter_subject_maps,
+    member_maps,
+    outside_maps,
+)
+
+
+@dataclass
+class FakeRecord:
+    subject_id: int
+    maps: List[str]
+
+
+@dataclass
+class FakeDataset:
+    subjects: List[FakeRecord]
+
+
+RECORDS = [
+    FakeRecord(2, ["m2a", "m2b"]),
+    FakeRecord(0, ["m0a"]),
+    FakeRecord(1, ["m1a", "m1b", "m1c"]),
+]
+
+
+class TestGroupMapsBySubject:
+    def test_groups_iterable_of_records(self):
+        grouped = group_maps_by_subject(RECORDS)
+        assert grouped == {2: ["m2a", "m2b"], 0: ["m0a"], 1: ["m1a", "m1b", "m1c"]}
+
+    def test_accepts_dataset_like_object(self):
+        grouped = group_maps_by_subject(FakeDataset(RECORDS))
+        assert set(grouped) == {0, 1, 2}
+
+    def test_exclude_drops_loso_subject(self):
+        grouped = group_maps_by_subject(RECORDS, exclude=1)
+        assert set(grouped) == {0, 2}
+
+    def test_lists_are_fresh_copies(self):
+        grouped = group_maps_by_subject(RECORDS)
+        grouped[0].append("extra")
+        assert RECORDS[1].maps == ["m0a"]
+
+    def test_insertion_order_follows_records(self):
+        assert list(group_maps_by_subject(RECORDS)) == [2, 0, 1]
+
+
+class TestIterSubjectMaps:
+    def test_ascending_subject_order(self):
+        pairs = list(iter_subject_maps({3: ["c"], 1: ["a"], 2: ["b"]}))
+        assert [sid for sid, _ in pairs] == [1, 2, 3]
+
+    def test_empty_subject_raises(self):
+        with pytest.raises(ValueError, match="subject 4 has no feature maps"):
+            list(iter_subject_maps({4: []}))
+
+
+class TestMemberMaps:
+    MAPS = {0: ["a0"], 1: ["a1", "b1"], 2: ["a2"]}
+
+    def test_flattens_in_membership_order(self):
+        assert member_maps(self.MAPS, [1, 0]) == ["a1", "b1", "a0"]
+
+    def test_absent_member_contributes_nothing(self):
+        assert member_maps(self.MAPS, [0, 99]) == ["a0"]
+
+    def test_exclude_drops_held_out_member(self):
+        assert member_maps(self.MAPS, [0, 1, 2], exclude=1) == ["a0", "a2"]
+
+
+class TestOutsideMaps:
+    def test_complement_of_membership(self):
+        maps = {0: ["a0"], 1: ["a1"], 2: ["a2"]}
+        assert outside_maps(maps, [1]) == ["a0", "a2"]
+
+    def test_preserves_insertion_order(self):
+        maps = {2: ["a2"], 0: ["a0"], 1: ["a1"]}
+        assert outside_maps(maps, []) == ["a2", "a0", "a1"]

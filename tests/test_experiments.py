@@ -92,6 +92,12 @@ class TestLightRunners:
         assert "General Model" in report.text
         # paper columns included
         assert report.paper["CLEAR w FT"]["accuracy"] == 86.34
+        # every row traces back through the pipeline graph's lineage
+        stages = [rec["stage"] for rec in report.provenance]
+        assert stages == ["input", "general", "cl", "clear"]
+        assert all(rec["digest"] for rec in report.provenance)
+        clear_rec = report.provenance[-1]
+        assert clear_rec["inputs"] == [["corpus", report.provenance[0]["digest"]]]
 
 
 class TestCLI:
@@ -109,3 +115,20 @@ class TestCLI:
         from repro.experiments.__main__ import main
 
         assert main(["table9"]) == 2
+
+    def test_parser_provenance_flag(self):
+        args = build_parser().parse_args(["fig2", "--provenance", "prov.json"])
+        assert args.provenance == "prov.json"
+
+    def test_main_writes_provenance(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "prov.json"
+        code = main(["fig2", "--provenance", str(out)])
+        assert code == 0
+        assert f"provenance written to {out}" in capsys.readouterr().out
+        lineage = json.loads(out.read_text())
+        assert [rec["stage"] for rec in lineage["fig2"]] == [
+            "architecture_profile"
+        ]
+        assert all(rec["digest"] for rec in lineage["fig2"])

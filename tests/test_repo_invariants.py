@@ -37,6 +37,7 @@ def test_all_rules_enabled_by_default():
         "RPR006",
         "RPR007",
         "RPR008",
+        "RPR009",
     }
 
 

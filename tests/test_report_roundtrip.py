@@ -1,0 +1,79 @@
+"""Report serialization round-trips, including provenance lineage."""
+
+import json
+
+from repro.experiments import ExperimentReport, ReportRegistry
+from repro.orchestration import Provenance
+
+
+def _report(experiment_id="table1"):
+    lineage = [
+        Provenance(stage="input", digest="d0").as_dict(),
+        Provenance(
+            stage="clear",
+            digest="d1",
+            config_digest="cfg",
+            seed=0,
+            seed_path=(2,),
+            inputs=(("corpus", "d0"),),
+            cache_hits=3,
+            cache_misses=1,
+            wall_time_s=4.2,
+            executor="parallel",
+            workers=4,
+            units=5,
+        ).as_dict(),
+    ]
+    return ExperimentReport(
+        experiment_id=experiment_id,
+        title="t",
+        text="body",
+        measured={"acc": 0.9},
+        paper={"acc": 0.86},
+        checks={"ok": True},
+        provenance=lineage,
+    )
+
+
+class TestReportRoundTrip:
+    def test_to_dict_includes_provenance(self):
+        data = _report().to_dict()
+        assert data["provenance"][1]["stage"] == "clear"
+        assert data["provenance"][1]["inputs"] == [["corpus", "d0"]]
+
+    def test_from_dict_inverts_to_dict(self):
+        report = _report()
+        assert ExperimentReport.from_dict(report.to_dict()) == report
+
+    def test_json_dump_reload(self, tmp_path):
+        report = _report()
+        path = report.save_json(tmp_path / "r.json")
+        reloaded = ExperimentReport.from_dict(json.loads(path.read_text()))
+        assert reloaded == report
+        # lineage survives JSON intact, down to typed Provenance records
+        prov = Provenance.from_dict(reloaded.provenance[1])
+        assert prov.seed_path == (2,)
+        assert prov.inputs == (("corpus", "d0"),)
+
+    def test_from_dict_tolerates_missing_provenance(self):
+        data = _report().to_dict()
+        del data["provenance"]
+        assert ExperimentReport.from_dict(data).provenance == []
+
+
+class TestRegistryRoundTrip:
+    def test_save_load_json(self, tmp_path):
+        registry = ReportRegistry()
+        registry.add(_report("a"))
+        registry.add(_report("b"))
+        path = registry.save_json(tmp_path / "all.json")
+        reloaded = ReportRegistry.load_json(path)
+        assert [r.experiment_id for r in reloaded.reports] == ["a", "b"]
+        assert reloaded.reports == registry.reports
+
+    def test_save_provenance_keyed_by_experiment(self, tmp_path):
+        registry = ReportRegistry(reports=[_report("a"), _report("b")])
+        path = registry.save_provenance(tmp_path / "prov.json")
+        lineage = json.loads(path.read_text())
+        assert set(lineage) == {"a", "b"}
+        assert [rec["stage"] for rec in lineage["a"]] == ["input", "clear"]
