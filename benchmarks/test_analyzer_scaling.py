@@ -1,0 +1,53 @@
+"""Static-analyzer wall-time bench: serial vs parallel file parsing.
+
+``analyze_paths`` fans per-file summary extraction out over the same
+sanctioned executor machinery the experiments use.  This bench records
+serial vs parallel wall time over ``src/repro`` into
+``BENCH_runtime.json`` (section ``analyzer``).  As with the runtime
+bench, wall times are recorded, not asserted — the hard assertion is
+that the parallel run reports byte-for-byte the same findings as the
+serial one.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow.engine import analyze_paths
+
+from test_runtime_scaling import _merge_report, _timed
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+WORKERS = 2
+
+
+def _keyed(result):
+    return sorted(
+        (f.path, f.code, f.line, f.col, f.message) for f in result.findings
+    )
+
+
+@pytest.mark.smoke
+def test_analyzer_scaling():
+    serial, serial_s = _timed(analyze_paths, [SRC])
+    parallel, parallel_s = _timed(analyze_paths, [SRC], workers=WORKERS)
+
+    assert serial.files == parallel.files
+    assert serial.errors == parallel.errors == []
+    assert _keyed(serial) == _keyed(parallel)
+
+    _merge_report(
+        "analyzer",
+        {
+            "files": serial.files,
+            "findings": len(serial.findings),
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "workers": WORKERS,
+            "bit_identical": True,
+        },
+    )
+    print(
+        f"\n[analyzer] {serial.files} files: serial {serial_s:.2f}s, "
+        f"parallel({WORKERS}) {parallel_s:.2f}s"
+    )

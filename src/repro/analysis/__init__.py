@@ -1,6 +1,6 @@
 """Static analysis for the CLEAR reproduction.
 
-Two engines:
+Three tiers:
 
 ``repro.analysis.shapes`` / ``repro.analysis.graph``
     Symbolic shape + dtype inference over layer stacks and architecture
@@ -8,9 +8,20 @@ Two engines:
     (``Sequential.validate``, ``repro check-model``, and the pre-flight
     hooks in :mod:`repro.core.trainer` / :mod:`repro.core.pipeline`).
 ``repro.analysis.lint``
-    AST-based repo-invariant linter (``python -m repro.analysis.lint``)
-    targeting reproduction-killers: untracked randomness, mutable
-    defaults, bare excepts, exact float comparisons.
+    Per-file AST linter (``python -m repro.analysis.lint``, RPR001–
+    RPR009) targeting syntactically-visible reproduction-killers:
+    untracked randomness, mutable defaults, bare excepts, exact float
+    comparisons, fan-out primitives outside the runtime package.
+``repro.analysis.dataflow``
+    Whole-repo dataflow analyzer (``repro check-determinism``,
+    RPR010–RPR017) for hazards no single file reveals:
+    interprocedural unseeded-RNG flow, Stage purity contracts,
+    cross-process dispatch hazards, artifact shape-flow across
+    :class:`~repro.orchestration.PipelineGraph` edges, and unused
+    ``# repro: noqa`` suppressions.
+
+The ``repro.analysis.sarif`` reporter serializes findings from either
+rule engine as SARIF 2.1.0 for code-scanning UIs.
 """
 
 from .graph import (

@@ -1,0 +1,63 @@
+"""Whole-repo dataflow analysis: the second tier of static analysis.
+
+:mod:`repro.analysis.lint` is tier one — per-file, syntactic, fast.
+This package is tier two: it parses every module reachable from the
+scanned roots into picklable :class:`~repro.analysis.dataflow.summaries.ModuleSummary`
+records (fanned out over a :class:`~repro.runtime.executor.Executor`),
+links them into a call graph, and runs four whole-repo analyses that
+per-file rules cannot express:
+
+``seedflow``  (RPR015)
+    Interprocedural taint tracking of ``np.random.Generator`` /
+    ``SeedSequence`` values: any RNG that reaches a stochastic
+    operation without descending from an explicit seed parameter, a
+    literal seed, or a spawned sequence is reported — the
+    interprocedural generalization of RPR001/002/006.
+``purity``  (RPR010–RPR013)
+    Static purity contracts for every function registered as an
+    ``orchestration.Stage``: no in-place mutation of input artifacts,
+    no module/class global writes, no I/O outside the injected cache
+    helpers, no wall-clock/OS-entropy reads.
+``hazards``  (RPR016–RPR017)
+    Cross-process safety of ``Executor.map`` fan-outs: lambdas,
+    closures, and bound methods are not picklable work functions, and
+    work units must not alias shared mutable locals.
+``shapeflow``
+    End-to-end artifact shape/dtype flow through ``PipelineGraph``
+    definitions — enforced at graph build time, not by the linter
+    (see :mod:`repro.analysis.dataflow.shapeflow`).
+
+The engine (:mod:`repro.analysis.dataflow.engine`) merges these
+findings with unused-suppression detection (RPR014), applies
+``# repro: noqa`` suppression and the committed baseline, and backs the
+``repro check-determinism`` CLI.
+"""
+
+from .engine import (
+    AnalysisResult,
+    DATAFLOW_RULES,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+    main,
+    save_baseline,
+)
+from .shapeflow import ArtifactFlowError, ArtifactSpec, check_stage_flow
+from .summaries import FileAnalysis, FunctionSummary, ModuleSummary, summarize_source
+
+__all__ = [
+    "AnalysisResult",
+    "DATAFLOW_RULES",
+    "analyze_paths",
+    "apply_baseline",
+    "load_baseline",
+    "main",
+    "save_baseline",
+    "ArtifactFlowError",
+    "ArtifactSpec",
+    "check_stage_flow",
+    "FileAnalysis",
+    "FunctionSummary",
+    "ModuleSummary",
+    "summarize_source",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.dataflow`` — the whole-repo analyzer CLI."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -494,10 +494,15 @@ def _suppressed(finding: Finding, source_lines: Sequence[str]) -> bool:
     return finding.code in {c.strip() for c in codes.split(",")}
 
 
-def lint_source(
+def lint_source_all(
     source: str, path: str = "<string>", codes: Optional[Iterable[str]] = None
 ) -> List[Finding]:
-    """Lint one module's source text; returns unsuppressed findings."""
+    """Lint one module, returning every finding *before* noqa suppression.
+
+    The dataflow engine (:mod:`repro.analysis.dataflow.engine`) applies
+    suppression itself so it can tell which ``# repro: noqa`` directives
+    actually fired — the input to the RPR014 unused-suppression check.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -511,15 +516,23 @@ def lint_source(
             )
         ]
     selected = set(codes) if codes is not None else set(RULES)
-    lines = source.splitlines()
     findings: List[Finding] = []
     for code in sorted(selected):
-        rule = RULES[code]()
-        findings.extend(
-            f for f in rule.check(tree, path) if not _suppressed(f, lines)
-        )
+        findings.extend(RULES[code]().check(tree, path))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def lint_source(
+    source: str, path: str = "<string>", codes: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    lines = source.splitlines()
+    return [
+        f
+        for f in lint_source_all(source, path, codes)
+        if not _suppressed(f, lines)
+    ]
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -560,6 +573,14 @@ def report_json(findings: Sequence[Finding]) -> str:
     )
 
 
+def report_sarif(findings: Sequence[Finding]) -> str:
+    from .sarif import rule_descriptions_from_registry, sarif_report
+
+    rules = rule_descriptions_from_registry(RULES)
+    rules["RPR900"] = "Syntax error: the file could not be parsed."
+    return sarif_report(findings, tool_name="repro-lint", rules=rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -567,7 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt"
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        dest="fmt",
     )
     parser.add_argument(
         "--select",
@@ -602,7 +626,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"no such file or directory: {', '.join(missing)}", file=sys.stderr)
         return 2
     findings = lint_paths([Path(p) for p in args.paths], codes)
-    print(report_json(findings) if args.fmt == "json" else report_text(findings))
+    if args.fmt == "json":
+        print(report_json(findings))
+    elif args.fmt == "sarif":
+        print(report_sarif(findings))
+    else:
+        print(report_text(findings))
     return 1 if findings else 0
 
 

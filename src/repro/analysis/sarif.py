@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output shared by the lint and dataflow engines.
+
+Both analyzers emit the same :class:`~repro.analysis.lint.Finding`
+shape, so one reporter serves both: ``python -m repro.analysis.lint
+--format sarif`` and ``repro check-determinism --format sarif`` produce
+a single-run SARIF log that GitHub code scanning and editor SARIF
+viewers ingest directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity per rule family: contract violations that break determinism
+#: outright are errors; hygiene findings are warnings.
+_LEVELS: Dict[str, str] = {
+    "RPR900": "error",  # syntax error
+}
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def sarif_log(
+    findings: Sequence,
+    tool_name: str,
+    rules: Mapping[str, str],
+    information_uri: Optional[str] = None,
+    tool_version: str = "1.0.0",
+) -> Dict:
+    """Build a SARIF 2.1.0 log dict from findings.
+
+    ``rules`` maps rule code to its one-line description; every rule is
+    declared in the driver so ``ruleIndex`` back-references resolve.
+    """
+    codes = sorted(rules)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = []
+    for finding in findings:
+        entry = {
+            "ruleId": finding.code,
+            "level": _LEVELS.get(finding.code, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(finding.path)},
+                        "region": {
+                            "startLine": max(int(finding.line), 1),
+                            "startColumn": max(int(finding.col), 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            entry["ruleIndex"] = rule_index[finding.code]
+        results.append(entry)
+
+    driver = {
+        "name": tool_name,
+        "version": tool_version,
+        "rules": [
+            {
+                "id": code,
+                "shortDescription": {"text": rules[code]},
+            }
+            for code in codes
+        ],
+    }
+    if information_uri:
+        driver["informationUri"] = information_uri
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def sarif_report(
+    findings: Sequence,
+    tool_name: str,
+    rules: Mapping[str, str],
+    **kwargs,
+) -> str:
+    """The SARIF log as a JSON string."""
+    return json.dumps(sarif_log(findings, tool_name, rules, **kwargs), indent=2)
+
+
+def rule_descriptions_from_registry(registry: Mapping) -> Dict[str, str]:
+    """Rule-code → first docstring line, for class-based rule registries."""
+    out: Dict[str, str] = {}
+    for code, cls in registry.items():
+        doc = (getattr(cls, "__doc__", None) or "").strip().splitlines()
+        out[code] = doc[0].strip() if doc else code
+    return out

@@ -195,6 +195,14 @@ def cmd_check_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check_determinism(args: argparse.Namespace) -> int:
+    """Run the whole-repo dataflow analyzer (seed-flow, Stage purity,
+    cross-process hazards, suppression hygiene) over the given paths."""
+    from .analysis.dataflow.engine import run_cli
+
+    return run_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -275,6 +283,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.set_defaults(func=cmd_check_model)
+
+    p = sub.add_parser(
+        "check-determinism",
+        help="whole-repo dataflow analysis: interprocedural seed-flow, "
+        "Stage purity contracts, cross-process hazards",
+    )
+    p.add_argument("paths", nargs="*", help="files or directories to analyze")
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        dest="fmt",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of tolerated findings; new findings still fail",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-record current findings into --baseline and exit 0",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parse files with this many processes (default: serial)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to report (default: all)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    p.set_defaults(func=cmd_check_determinism)
 
     return parser
 

@@ -64,7 +64,14 @@ class PipelineGraph:
             self.add(stage)
 
     def add(self, stage: Stage) -> "PipelineGraph":
-        """Declare a stage; returns self for chaining."""
+        """Declare a stage; returns self for chaining.
+
+        Beyond name/artifact uniqueness, every artifact edge with
+        declared :class:`ArtifactSpec` contracts on both ends is
+        checked immediately — a mismatched graph is rejected at build
+        time with an :class:`~repro.analysis.dataflow.shapeflow.
+        ArtifactFlowError` naming both stages, before anything runs.
+        """
         if any(s.name == stage.name for s in self.stages):
             raise OrchestrationError(
                 f"graph {self.name!r} already has a stage named {stage.name!r}"
@@ -74,6 +81,15 @@ class PipelineGraph:
                 f"graph {self.name!r} already produces artifact "
                 f"{stage.provides!r}"
             )
+        if stage.input_specs or stage.output_spec is not None or any(
+            s.input_specs or s.output_spec is not None for s in self.stages
+        ):
+            # Lazy import: analysis depends only on repro.errors, but
+            # keeping the checker out of the hot path means graphs with
+            # no declared specs never pay for it.
+            from ..analysis.dataflow.shapeflow import check_stage_flow
+
+            check_stage_flow(self.stages + [stage])
         self.stages.append(stage)
         return self
 

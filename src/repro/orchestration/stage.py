@@ -79,6 +79,14 @@ class Stage:
     screen_output:
         When true, the resilience feature guard screens the stage's
         output arrays at the boundary (NaN/Inf detection).
+    input_specs:
+        Optional mapping of required artifact name to an
+        :class:`~repro.analysis.dataflow.shapeflow.ArtifactSpec`
+        contract; checked against the producer's ``output_spec`` when
+        the stage is added to a graph.
+    output_spec:
+        Optional :class:`ArtifactSpec` contract for the produced
+        artifact.
     """
 
     name: str
@@ -88,6 +96,8 @@ class Stage:
     config: Any = None
     seed: Optional[int] = None
     screen_output: bool = False
+    input_specs: Optional[Dict[str, Any]] = None
+    output_spec: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.name:

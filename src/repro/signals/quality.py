@@ -38,7 +38,12 @@ def inject_motion_spikes(
     for _ in range(num_spikes):
         pos = int(rng.integers(0, max(1, x.size - spike_len)))
         shape = np.sin(np.linspace(0, 2 * np.pi, spike_len))
-        x[pos : pos + spike_len] += scale * rng.choice([-1.0, 1.0]) * shape
+        # Signals shorter than one spike get a truncated spike rather
+        # than a broadcast error (the slice clips at the signal end).
+        span = x[pos : pos + spike_len].size
+        x[pos : pos + spike_len] += (
+            scale * rng.choice([-1.0, 1.0]) * shape[:span]
+        )
     return x
 
 

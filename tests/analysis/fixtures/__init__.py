@@ -1,0 +1,7 @@
+"""Deliberately-defective sources exercising the dataflow analyzer.
+
+Every file here is a true-positive corpus for one rule family; none of
+them is imported at runtime.  The analyzer is pointed at these paths by
+``tests/analysis/test_dataflow.py`` and must find exactly the planted
+violations.
+"""

@@ -1,0 +1,54 @@
+"""Fixture: a deliberately impure Stage function (RPR010–RPR013).
+
+Planted violations, one per purity rule:
+
+* RPR010 — mutates the ``features`` input in place (twice).
+* RPR011 — writes a module-level global.
+* RPR012 — opens a file directly instead of using the StageContext
+  cache helpers (and again via a helper).
+* RPR013 — reads the wall clock and creates an OS-entropy generator.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.orchestration import PipelineGraph, Stage
+
+_CALL_COUNT = 0
+
+
+def _dump_debug(payload):
+    with open("/tmp/debug.json", "w") as fh:  # RPR012 via helper
+        json.dump(payload, fh)
+
+
+def _impure_stage(ctx, features, labels):
+    global _CALL_COUNT
+    _CALL_COUNT += 1  # RPR011: global write
+    features.sort()  # RPR010: input mutation (method)
+    features[0] = 0.0  # RPR010: input mutation (subscript store)
+    started = time.time()  # RPR013: wall clock
+    rng = np.random.default_rng()  # repro: noqa[RPR002]  (RPR013 still fires)
+    noise = rng.normal(size=3)
+    _dump_debug({"started": started})
+    return noise.tolist(), labels
+
+
+def _pure_stage(ctx, features):
+    return [f * 2.0 for f in features]
+
+
+def build_graph():
+    graph = PipelineGraph("fixture")
+    graph.add(
+        Stage(
+            "impure",
+            _impure_stage,
+            requires=("features", "labels"),
+            provides="noisy",
+        )
+    )
+    graph.add(Stage("pure", _pure_stage, requires=("features",)))
+    return graph

@@ -1,0 +1,52 @@
+"""Fixture: cross-process dispatch hazards (RPR016–RPR017).
+
+Planted violations:
+
+* ``dispatch_lambda`` — a lambda handed to ``executor.map``.
+* ``dispatch_closure`` — a nested function (closure over ``scale``).
+* ``Dispatcher.run`` — a bound method (``self._work``).
+* ``shared_state`` — work units embedding a local list that the same
+  function mutates in place after building the units.
+
+``dispatch_ok`` must stay clean: a module-level work function over
+units that embed only rebound (never mutated) locals.
+"""
+
+import numpy as np
+
+
+def _work(unit):
+    x, seed = unit
+    return float(np.asarray(x).sum()) + seed
+
+
+def dispatch_lambda(executor, items):
+    return executor.map(lambda unit: unit * 2, items)  # RPR016
+
+
+def dispatch_closure(executor, items, scale):
+    def _scaled(unit):  # closes over scale
+        return unit * scale
+
+    return executor.map(_scaled, items)  # RPR016
+
+
+class Dispatcher:
+    def _work(self, unit):
+        return unit + 1
+
+    def run(self, executor, items):
+        return executor.map(self._work, items)  # RPR016
+
+
+def shared_state(executor, x, seeds):
+    scratch = [0.0]
+    units = [(x, scratch, seed) for seed in seeds]
+    scratch.append(1.0)  # RPR017: mutated after embedding into units
+    return executor.map(_work, units)
+
+
+def dispatch_ok(executor, x, seeds):
+    x = np.asarray(x, dtype=float)  # rebinding, not mutation
+    units = [(x, seed) for seed in seeds]
+    return executor.map(_work, units)

@@ -1,0 +1,46 @@
+"""Fixture: interprocedural unseeded-RNG leaks (RPR015).
+
+Planted violations:
+
+* ``draw_inline`` — an inline unseeded chain.
+* ``make_rng``/``consume_here`` — a factory returning an unseeded
+  generator whose product reaches a draw two functions away.
+* ``leak_into_callee`` — a locally-created unseeded generator passed
+  into a callee whose parameter reaches stochastic draws.
+
+``seeded_ok`` and ``threaded_ok`` must stay clean: explicit seeds and
+caller-threaded generators are the sanctioned patterns.
+"""
+
+import numpy as np
+
+
+def draw_inline(n):
+    return np.random.default_rng().normal(size=n)  # repro: noqa[RPR002]
+
+
+def make_rng():
+    return np.random.default_rng()  # repro: noqa[RPR002]
+
+
+def consume_here(n):
+    rng = make_rng()
+    return rng.uniform(size=n)
+
+
+def _draw(rng, n):
+    return rng.integers(0, 10, size=n)
+
+
+def leak_into_callee(n):
+    rng = np.random.default_rng(None)
+    return _draw(rng, n)
+
+
+def seeded_ok(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def threaded_ok(rng, n):
+    return _draw(rng, n)

@@ -1,0 +1,24 @@
+"""Fixture: suppression hygiene (RPR014).
+
+* line with a *used* blanket noqa (suppresses a real RPR002) — clean;
+* line with a *used* coded noqa — clean;
+* two *unused* directives (one blanket, one coded) — RPR014 each.
+"""
+
+import numpy as np
+
+
+def used_blanket():
+    return np.random.default_rng()  # repro: noqa
+
+
+def used_coded():
+    return np.random.default_rng()  # repro: noqa[RPR002,RPR015]
+
+
+def unused_blanket(values):
+    return sorted(values)  # repro: noqa
+
+
+def unused_coded(values):
+    return max(values)  # repro: noqa[RPR005]

@@ -41,6 +41,43 @@ def test_all_rules_enabled_by_default():
     }
 
 
+def test_determinism_analyzer_clean_over_src():
+    # Tier-2 gate: the whole-repo dataflow analyzer (seed-flow, Stage
+    # purity, cross-process hazards, suppression hygiene) must report
+    # nothing over src/repro beyond the committed baseline — which is
+    # empty, so in practice: nothing at all.
+    from repro.analysis.dataflow import (
+        analyze_paths,
+        apply_baseline,
+        load_baseline,
+    )
+
+    baseline_path = SRC.parent.parent / "check_determinism_baseline.json"
+    assert baseline_path.is_file(), f"missing baseline at {baseline_path}"
+    baseline = load_baseline(baseline_path)
+    assert baseline == set(), "the committed baseline must stay empty"
+    result = apply_baseline(analyze_paths([SRC]), baseline)
+    formatted = "\n".join(f.format_text() for f in result.findings)
+    assert not result.findings, f"determinism analysis failed:\n{formatted}"
+    assert not result.errors, f"unanalyzable files: {result.errors}"
+
+
+def test_dataflow_rule_catalog_complete():
+    from repro.analysis.dataflow import DATAFLOW_RULES
+
+    assert set(DATAFLOW_RULES) == {
+        "RPR010",
+        "RPR011",
+        "RPR012",
+        "RPR013",
+        "RPR014",
+        "RPR015",
+        "RPR016",
+        "RPR017",
+        "RPR900",
+    }
+
+
 def test_paper_architecture_always_validates():
     report = validate_architecture((1, 8, 20))
     assert report.output_shape == (2,)
