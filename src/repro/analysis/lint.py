@@ -438,6 +438,8 @@ class RuntimeConstructionRule(LintRule):
         {
             "SerialExecutor",
             "ParallelExecutor",
+            "SupervisedExecutor",
+            "supervised_map",
             "make_executor",
             "ContentCache",
             "feature_map_cache",
@@ -476,6 +478,61 @@ class RuntimeConstructionRule(LintRule):
                     f"direct {self._call_name(node)}() outside repro/runtime "
                     f"and repro/orchestration; accept an Executor/cache_dir "
                     f"or inject via repro.orchestration.context",
+                )
+
+
+@register
+class SilentExceptionSwallowRule(LintRule):
+    """RPR018: broad except clauses that silently swallow the error.
+
+    ``except Exception: pass`` (and its ``...`` twin) makes a fault
+    invisible: no typed error, no log line, no degraded-health record —
+    the exact opposite of this codebase's resilience contract, where
+    every failure either propagates as a typed error or is recorded
+    (quarantined unit, degraded stage, journal warning).  A broad
+    handler must *do* something with the exception."""
+
+    code = "RPR018"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    @classmethod
+    def _broad_names(cls, node: ast.AST) -> List[str]:
+        """Broad exception names caught by this handler's type expr."""
+        if isinstance(node, ast.Name) and node.id in cls._BROAD:
+            return [node.id]
+        if isinstance(node, ast.Attribute) and node.attr in cls._BROAD:
+            return [node.attr]
+        if isinstance(node, ast.Tuple):
+            return [
+                name for elt in node.elts for name in cls._broad_names(elt)
+            ]
+        return []
+
+    @staticmethod
+    def _is_silent(body: Sequence[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue  # bare except is RPR004's finding
+            caught = self._broad_names(node.type)
+            if caught and self._is_silent(node.body):
+                yield self.finding(
+                    path,
+                    node,
+                    f"except {caught[0]}: pass silently swallows the "
+                    f"failure; re-raise a typed error, log it, or record "
+                    f"degraded health instead",
                 )
 
 

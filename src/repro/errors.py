@@ -75,3 +75,50 @@ class OrchestrationError(ResilienceError):
     output fails its boundary guard.  The message always names the
     offending stage or artifact.
     """
+
+
+class ExecutorError(ResilienceError):
+    """The execution layer cannot run work units at all.
+
+    Raised for platform-level problems — e.g. requesting the default
+    ``fork`` start method on an OS that does not support it — as opposed
+    to individual work units failing (see :class:`SupervisionError`).
+    The message always says what to pass instead.
+    """
+
+
+class WorkUnitPoisonError(ExecutorError):
+    """An injected poison work unit raised (executor-level fault plans).
+
+    The exception type the :class:`~repro.resilience.faults.UnitRaise`
+    fault throws inside a worker, so chaos tests can distinguish the
+    injected failure from a genuine bug in the worker function.
+    """
+
+
+class SupervisionError(ExecutorError):
+    """Work units were quarantined after exhausting their retry budget.
+
+    Raised by the supervised executor in strict (non-partial) mode;
+    carries the machine-readable failure manifest.
+
+    Attributes
+    ----------
+    failures:
+        One :class:`~repro.runtime.supervision.UnitFailure` per
+        quarantined unit, in unit order.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class JournalError(OrchestrationError):
+    """A run journal is unreadable or does not match the graph run.
+
+    Raised when ``--resume`` points at a journal written by a different
+    graph / config / seed / input set — silently mixing two runs'
+    artifacts would be worse than failing.  A *corrupt* journaled
+    artifact is never fatal: the stage simply re-runs.
+    """

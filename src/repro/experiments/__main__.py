@@ -50,9 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        choices=["bench", "paper"],
+        choices=["tiny", "bench", "paper"],
         default="bench",
-        help="corpus / fold scale (default: bench)",
+        help=(
+            "corpus / fold scale (default: bench; tiny is the "
+            "seconds-scale config used by the test suite)"
+        ),
     )
     parser.add_argument(
         "--json", metavar="PATH", help="write the reports to a JSON file"
@@ -86,19 +89,45 @@ def build_parser() -> argparse.ArgumentParser:
             "feature extraction and fold training whose inputs are unchanged"
         ),
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record each experiment graph's completed stages into "
+            "write-ahead run journals under DIR; a crashed (even "
+            "SIGKILLed) run re-invoked with the same DIR resumes from "
+            "the journaled stages with bit-identical digests"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        dest="journal",
+        metavar="DIR",
+        help=(
+            "resume from the run journals under DIR (synonym of "
+            "--journal: journaling and resuming are the same mechanism)"
+        ),
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    scale = (
-        ExperimentScale.paper() if args.scale == "paper" else ExperimentScale.bench()
-    )
+    scales = {
+        "tiny": ExperimentScale.tiny,
+        "bench": ExperimentScale.bench,
+        "paper": ExperimentScale.paper,
+    }
+    scale = scales[args.scale]()
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     scale = dataclasses.replace(
-        scale, workers=args.workers, cache_dir=args.cache_dir
+        scale,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        journal_dir=args.journal,
     )
 
     wanted = list(args.experiments) if args.experiments else ["all"]

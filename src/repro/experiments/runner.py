@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -12,6 +13,9 @@ from ..clustering import GlobalClustering
 from ..core import (
     CLEAR,
     CLEARConfig,
+    FineTuneConfig,
+    ModelConfig,
+    TrainingConfig,
     PAPER_TABLE1_REFERENCES,
     PAPER_TABLE1_RESULTS,
     architecture_summary,
@@ -54,6 +58,13 @@ class ExperimentScale:
     extraction across processes (bit-identical results); ``cache_dir``
     points the content-addressed runtime cache at a directory so warm
     re-runs skip extraction and training.
+
+    ``journal_dir`` makes every experiment's pipeline graph crash-safe:
+    each graph records its completed stages into a
+    :class:`~repro.orchestration.journal.RunJournal` under that
+    directory (one journal per graph), and a re-run with the same
+    directory — including after a SIGKILL — resumes from the journaled
+    stages with bit-identical digests.
     """
 
     dataset: WEMACConfig
@@ -61,11 +72,39 @@ class ExperimentScale:
     max_folds: Optional[int]
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
+    journal_dir: Optional[str] = None
 
     def executor(self) -> Executor:
         # Built through the orchestration context — the single injection
         # point for runtime machinery (RPR009).
         return executor_for_workers(self.workers)
+
+    def journal_path(self, graph_name: str) -> Optional[str]:
+        """Journal file for one experiment graph, or None when disabled."""
+        if self.journal_dir is None:
+            return None
+        return str(Path(self.journal_dir) / f"{graph_name}.json")
+
+    @staticmethod
+    def tiny(seed: int = 0) -> "ExperimentScale":
+        """Seconds-scale config for unit / chaos tests."""
+        return ExperimentScale(
+            dataset=WEMACConfig.tiny(seed=seed),
+            clear=CLEARConfig(
+                num_clusters=4,
+                subclusters_per_cluster=2,
+                gc_refinements=2,
+                model=ModelConfig(
+                    conv_filters=(4, 8), lstm_units=8, dropout=0.0
+                ),
+                training=TrainingConfig(
+                    epochs=6, batch_size=8, early_stopping_patience=2
+                ),
+                fine_tuning=FineTuneConfig(epochs=3),
+                seed=0,
+            ),
+            max_folds=2,
+        )
 
     @staticmethod
     def bench(seed: int = 2) -> "ExperimentScale":
@@ -170,6 +209,7 @@ def run_table1(
         executor=scale.executor(),
         cache_dir=scale.cache_dir,
         seed=scale.clear.seed,
+        journal=scale.journal_path("table1"),
     )
     general = run.value("general")
     cl = run.value("cl")
@@ -296,6 +336,7 @@ def run_table2_upper(
         executor=scale.executor(),
         cache_dir=scale.cache_dir,
         seed=scale.clear.seed,
+        journal=scale.journal_path("table2_upper"),
     )
     results = run.value("platform_accuracy")
     paper = {
@@ -386,6 +427,7 @@ def run_table2_lower(
         executor=scale.executor(),
         cache_dir=scale.cache_dir,
         seed=scale.clear.seed,
+        journal=scale.journal_path("table2_lower"),
     )
     results = run.value("ft_accuracy")
     costs = run.value("cost_model")
@@ -509,6 +551,7 @@ def run_fig1_pipeline(
         executor=scale.executor(),
         cache_dir=scale.cache_dir,
         seed=scale.clear.seed,
+        journal=scale.journal_path("fig1"),
     )
     walk = run.value("walkthrough")
     timings, metrics = walk.timings, walk.metrics
@@ -552,7 +595,10 @@ def run_fig2_architecture(
     graph = PipelineGraph(
         "fig2", [Stage("architecture_profile", _profile_stage, seed=0)]
     )
-    run = graph.run(seed=0)
+    run = graph.run(
+        seed=0,
+        journal=None if scale is None else scale.journal_path("fig2"),
+    )
     model, profile = run.value("architecture_profile")
     text = (
         "Fig. 2 -- CNN-LSTM architecture (123 x 8 feature maps)\n"
@@ -611,6 +657,7 @@ def run_setup_statistics(
         executor=scale.executor(),
         cache_dir=scale.cache_dir,
         seed=0,
+        journal=scale.journal_path("setup"),
     )
     summary, sizes = run.value("setup_statistics")
     text = (

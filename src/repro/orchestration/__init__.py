@@ -12,7 +12,9 @@ re-assembled by hand at every entry point:
   record (config digest, seed path, upstream digests, cache traffic,
   wall time).
 * :class:`PipelineGraph` — deterministic topological execution with
-  optional resilience screening of stage outputs.
+  optional resilience screening of stage outputs, per-stage
+  ``on_failure`` degradation, and crash-safe resumable runs through a
+  :class:`RunJournal`.
 * :func:`run_fold_plan` — the one fold-dispatch implementation shared
   by every Table-I validation protocol.
 * :mod:`~repro.orchestration.grouping` — the shared per-subject map
@@ -27,7 +29,8 @@ from .context import (
     resolve_executor,
 )
 from .folds import FoldPlanResult, run_fold_plan
-from .graph import PipelineGraph, PipelineRun
+from .graph import GraphRun, PipelineGraph, PipelineRun
+from .journal import RunJournal, resolve_journal, run_key
 from .grouping import (
     group_maps_by_subject,
     iter_subject_maps,
@@ -40,9 +43,11 @@ from .stage import Stage, StageContext
 __all__ = [
     "Artifact",
     "FoldPlanResult",
+    "GraphRun",
     "PipelineGraph",
     "PipelineRun",
     "Provenance",
+    "RunJournal",
     "Stage",
     "StageContext",
     "UNHASHABLE",
@@ -56,5 +61,7 @@ __all__ = [
     "open_feature_map_cache",
     "outside_maps",
     "resolve_executor",
+    "resolve_journal",
     "run_fold_plan",
+    "run_key",
 ]

@@ -10,6 +10,18 @@ stage outputs through the resilience feature guard, and wraps every
 produced value in an :class:`~repro.orchestration.provenance.Artifact`
 whose :class:`~repro.orchestration.provenance.Provenance` chains the
 upstream digests.
+
+Two resilience hooks live at the same boundary:
+
+* ``run(..., journal=path)`` records every completed stage into a
+  :class:`~repro.orchestration.journal.RunJournal` and skips stages the
+  journal already holds — a SIGKILLed run resumes where it died, with
+  digests bit-identical to an uninterrupted run.
+* A stage declaring ``on_failure="skip_with_fallback"`` degrades
+  instead of aborting: its exception is recorded in
+  :attr:`GraphRun.failed_stages`, its ``fallback`` produces the
+  artifact, and the stage's :class:`~repro.resilience.degradation.
+  HealthStatus` in :attr:`GraphRun.health` says so.
 """
 
 from __future__ import annotations
@@ -17,11 +29,14 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import OrchestrationError
+from ..resilience.degradation import FALLBACK, HEALTHY, HealthStatus
 from ..runtime.executor import Executor
 from .context import normalize_cache_dir, resolve_executor
+from .journal import RunJournal, resolve_journal, run_key
 from .provenance import Artifact, Provenance, artifact_digest
 from .stage import Stage, StageContext
 
@@ -30,9 +45,21 @@ logger = logging.getLogger("repro.orchestration")
 
 @dataclass
 class PipelineRun:
-    """Every artifact produced by one graph execution."""
+    """Every artifact produced by one graph execution.
+
+    Beyond the artifacts themselves, a run carries its resilience
+    record: ``failed_stages`` maps each stage that raised but was
+    declared ``on_failure="skip_with_fallback"`` to its error message,
+    and ``health`` holds a per-stage
+    :class:`~repro.resilience.degradation.HealthStatus` — ``HEALTHY``
+    for stages that executed (or were resumed from a journal) normally,
+    ``FALLBACK`` for stages that degraded to their fallback value.
+    """
 
     artifacts: Dict[str, Artifact] = field(default_factory=dict)
+    failed_stages: Dict[str, str] = field(default_factory=dict)
+    health: Dict[str, HealthStatus] = field(default_factory=dict)
+    resumed_stages: List[str] = field(default_factory=list)
 
     def __getitem__(self, name: str) -> Artifact:
         return self.artifacts[name]
@@ -52,6 +79,26 @@ class PipelineRun:
 
     def wall_time_s(self, name: str) -> float:
         return self.artifacts[name].provenance.wall_time_s
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage degraded to its fallback."""
+        return not self.failed_stages
+
+    def failure_manifest(self) -> Dict[str, Any]:
+        """Machine-readable record of every degraded stage."""
+        return {
+            "failed_stages": dict(self.failed_stages),
+            "health": {
+                name: status.to_dict() for name, status in self.health.items()
+            },
+            "resumed_stages": list(self.resumed_stages),
+        }
+
+
+#: The artifact container a graph run returns (alias: the run *is* the
+#: graph-shaped result, failures and health included).
+GraphRun = PipelineRun
 
 
 class PipelineGraph:
@@ -138,6 +185,7 @@ class PipelineGraph:
         executor: Optional[Executor] = None,
         cache_dir: Optional[Union[str, "object"]] = None,
         seed: Optional[int] = None,
+        journal: Optional[Union[str, Path, RunJournal]] = None,
     ) -> PipelineRun:
         """Execute every stage once, in topological order.
 
@@ -145,9 +193,18 @@ class PipelineGraph:
         provenance so downstream lineage is complete.  The executor /
         cache / seed are injected exactly once — stage functions only
         ever see the :class:`StageContext`.
+
+        ``journal`` (a path or :class:`RunJournal`) makes the run
+        crash-safe: each completed stage is recorded write-ahead, and
+        stages already journaled under the same run key are skipped and
+        rehydrated instead of re-executed.  Because a stage's seed
+        material depends only on the run seed and its topological
+        index, a resumed run's digests are bit-identical to an
+        uninterrupted run's.
         """
         executor = resolve_executor(executor)
         cache_dir = normalize_cache_dir(cache_dir)
+        journal = resolve_journal(journal)
         run = PipelineRun()
         for name, value in (initial or {}).items():
             run.artifacts[name] = Artifact(
@@ -157,9 +214,38 @@ class PipelineGraph:
                     stage="input", digest=artifact_digest(value)
                 ),
             )
+        if journal is not None:
+            journal.begin(
+                run_key(
+                    self.name,
+                    self.stages,
+                    seed,
+                    {
+                        name: run.artifacts[name].digest
+                        for name in (initial or {})
+                    },
+                ),
+                self.name,
+            )
 
         order = self.topological_order(initial=tuple(initial or ()))
         for index, stage in enumerate(order):
+            if journal is not None and journal.has(stage.name):
+                artifact = journal.load(stage.name)
+                if artifact is not None:
+                    run.artifacts[artifact.name] = artifact
+                    run.resumed_stages.append(stage.name)
+                    run.health[stage.name] = HealthStatus(
+                        state=HEALTHY,
+                        reasons=(f"resumed from journal {journal.path}",),
+                    )
+                    logger.debug(
+                        "graph %s: stage %s resumed from journal (digest %s)",
+                        self.name,
+                        stage.name,
+                        artifact.digest[:12],
+                    )
+                    continue
             ctx = StageContext(
                 executor=executor,
                 cache_dir=cache_dir,
@@ -175,7 +261,20 @@ class PipelineGraph:
                 len(order),
             )
             t0 = time.perf_counter()
-            value = stage.run(ctx, inputs)
+            degraded: Optional[str] = None
+            try:
+                value = stage.run(ctx, inputs)
+            except Exception as exc:
+                if stage.on_failure != "skip_with_fallback":
+                    raise
+                degraded = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "graph %s: stage %s failed (%s); using its fallback",
+                    self.name,
+                    stage.name,
+                    degraded,
+                )
+                value = stage.run_fallback(ctx, inputs)
             wall = time.perf_counter() - t0
             if stage.screen_output:
                 _screen_value(stage.name, value)
@@ -200,9 +299,24 @@ class PipelineGraph:
                 workers=executor.workers,
                 units=ctx._units,
             )
-            run.artifacts[stage.provides] = Artifact(
+            artifact = Artifact(
                 name=stage.provides, value=value, provenance=provenance
             )
+            run.artifacts[stage.provides] = artifact
+            if degraded is not None:
+                run.failed_stages[stage.name] = degraded
+                run.health[stage.name] = HealthStatus(
+                    state=FALLBACK,
+                    used_fallback_model=True,
+                    reasons=(degraded,),
+                )
+            else:
+                run.health[stage.name] = HealthStatus(state=HEALTHY)
+                # Write-ahead journaling of *healthy* stages only: a
+                # fallback value must never masquerade as the real
+                # artifact on a later resume.
+                if journal is not None:
+                    journal.record(stage.name, artifact)
             logger.debug(
                 "graph %s: stage %s done in %.3fs (digest %s)",
                 self.name,

@@ -1,0 +1,274 @@
+"""Crash-safe run journal: resumable pipeline graphs.
+
+A :class:`RunJournal` is a write-ahead log of completed stages.  As a
+:class:`~repro.orchestration.graph.PipelineGraph` runs, each produced
+artifact is first persisted into a content-addressed
+:class:`~repro.runtime.cache.ContentCache` next to the journal, and
+only *then* is the journal entry appended (atomic temp file +
+``os.replace``, like every cache write).  A SIGKILL between the two
+steps therefore loses nothing: the entry is absent, the stage simply
+re-runs on resume.  A SIGKILL mid-entry cannot happen — the journal
+file is replaced atomically, never appended in place.
+
+Resume is a no-code-path-change: ``graph.run(..., journal=path)`` both
+records *and* resumes.  Stages whose entries are journaled are skipped
+and their artifacts rehydrated from the cache; because every stage's
+seed material derives from the run seed and its topological index —
+never from how many stages actually executed — the resumed run's
+artifact digests are bit-identical to an uninterrupted run's.
+
+The journal is bound to *one* logical run by its ``run_key``: a content
+key over the graph topology, every stage's config digest and seed, the
+run seed, and the initial artifacts' digests.  Pointing a journal
+recorded under a different key at a run raises a typed
+:class:`~repro.errors.JournalError` — silently mixing two
+configurations' artifacts is exactly the bug this layer exists to
+prevent.  Damage, by contrast, is never fatal: unreadable journal
+files, malformed entries, and corrupt cached artifact payloads all
+degrade to "stage re-runs".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import CacheError, JournalError
+from ..runtime.cache import ContentCache, content_key
+from .provenance import Artifact, Provenance, artifact_digest
+
+logger = logging.getLogger("repro.orchestration")
+
+#: Journal file format version; bumped on incompatible layout changes.
+JOURNAL_VERSION = 1
+
+#: Keys every journal entry must carry to be trusted on resume.
+_ENTRY_KEYS = ("stage", "provides", "value_key", "provenance")
+
+
+def run_key(
+    graph_name: str,
+    stages: Sequence[Any],
+    seed: Optional[int],
+    initial_digests: Dict[str, str],
+) -> str:
+    """The identity of one logical run: graph + config + seed + inputs.
+
+    Any change to the graph topology, a stage's configuration or seed,
+    the run seed, or the initial artifacts produces a different key —
+    and therefore refuses to resume from the stale journal.
+    """
+    stage_identity = [
+        (
+            s.name,
+            s.provides,
+            tuple(s.requires),
+            None if s.config is None else artifact_digest(s.config),
+            s.seed,
+        )
+        for s in stages
+    ]
+    return content_key(
+        "run-journal.v1",
+        graph_name,
+        stage_identity,
+        seed,
+        sorted(initial_digests.items()),
+    )
+
+
+class RunJournal:
+    """Write-ahead log of one graph run's completed stages.
+
+    ``path`` names the journal file; artifact payloads live in a
+    content-addressed cache directory next to it
+    (``<path>.artifacts/``), so a journal is a self-contained pair that
+    can be copied or deleted as a unit.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.run_key: Optional[str] = None
+        self.graph_name: Optional[str] = None
+        self._entries: List[Dict[str, Any]] = []
+        self._cache: Optional[ContentCache] = None
+        self._load()
+
+    # -- persistence -------------------------------------------------------
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.path.with_name(self.path.name + ".artifacts")
+
+    def _store(self) -> ContentCache:
+        if self._cache is None:
+            self._cache = ContentCache(self.artifacts_dir)
+        return self._cache
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            # A damaged journal means "nothing completed", not a crash:
+            # the write-ahead discipline makes re-running always safe.
+            logger.warning(
+                "journal %s is unreadable (%s); starting fresh", self.path, exc
+            )
+            return
+        if not isinstance(data, dict) or data.get("version") != JOURNAL_VERSION:
+            logger.warning(
+                "journal %s has unknown format; starting fresh", self.path
+            )
+            return
+        self.run_key = data.get("run_key")
+        self.graph_name = data.get("graph")
+        for entry in data.get("entries", ()):
+            if isinstance(entry, dict) and all(
+                key in entry for key in _ENTRY_KEYS
+            ):
+                self._entries.append(entry)
+            else:
+                logger.warning(
+                    "journal %s: skipping malformed entry %r", self.path, entry
+                )
+
+    def _flush(self) -> None:
+        """Atomically rewrite the journal file (temp + ``os.replace``)."""
+        payload = json.dumps(
+            {
+                "version": JOURNAL_VERSION,
+                "run_key": self.run_key,
+                "graph": self.graph_name,
+                "entries": self._entries,
+            },
+            indent=2,
+        ).encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=".tmp-journal-"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- the run protocol --------------------------------------------------
+    def begin(self, key: str, graph_name: str) -> None:
+        """Bind the journal to one logical run (or verify the binding).
+
+        Raises :class:`~repro.errors.JournalError` when the journal was
+        recorded under a *different* run key — a different graph,
+        config, seed, or initial input.
+        """
+        if self.run_key is not None and self.run_key != key:
+            raise JournalError(
+                f"journal {self.path} was recorded for a different run "
+                f"(graph {self.graph_name!r}, key {self.run_key[:12]}…, "
+                f"expected {key[:12]}…); delete it or pick another path "
+                "to start fresh"
+            )
+        if self.run_key is None:
+            self.run_key = key
+            self.graph_name = graph_name
+            self._flush()
+
+    def completed_stages(self) -> List[str]:
+        return [entry["stage"] for entry in self._entries]
+
+    def has(self, stage_name: str) -> bool:
+        return any(entry["stage"] == stage_name for entry in self._entries)
+
+    def load(self, stage_name: str) -> Optional[Artifact]:
+        """Rehydrate a journaled stage's artifact, or ``None`` to re-run.
+
+        Every failure mode — missing entry, missing or corrupt cached
+        payload, payload whose content no longer matches the recorded
+        digest — degrades to ``None``: the stage re-executes and the
+        journal heals itself when the fresh result is recorded.
+        """
+        entry = next(
+            (e for e in self._entries if e["stage"] == stage_name), None
+        )
+        if entry is None:
+            return None
+        try:
+            value = self._store().load_object(str(entry["value_key"]))
+        except CacheError as exc:
+            logger.warning(
+                "journal %s: corrupt artifact for stage %r (%s); re-running",
+                self.path,
+                stage_name,
+                exc,
+            )
+            return None
+        if value is None:
+            return None
+        try:
+            provenance = Provenance.from_dict(entry["provenance"])
+        except (KeyError, TypeError, ValueError):
+            logger.warning(
+                "journal %s: malformed provenance for stage %r; re-running",
+                self.path,
+                stage_name,
+            )
+            return None
+        if artifact_digest(value) != provenance.digest:
+            logger.warning(
+                "journal %s: artifact for stage %r no longer matches its "
+                "recorded digest; re-running",
+                self.path,
+                stage_name,
+            )
+            return None
+        provenance = dataclasses.replace(
+            provenance, resumed_from=str(self.path)
+        )
+        return Artifact(
+            name=str(entry["provides"]), value=value, provenance=provenance
+        )
+
+    def record(self, stage_name: str, artifact: Artifact) -> None:
+        """Journal one completed stage: payload first, then the entry.
+
+        The artifact value is persisted into the content-addressed
+        store *before* the journal entry lands — a crash between the
+        two leaves an orphaned payload (harmless) rather than an entry
+        pointing at nothing.
+        """
+        value_key = self._store().key(
+            "journal-artifact.v1", artifact.provenance.digest
+        )
+        self._store().store_object(value_key, artifact.value)
+        provenance = dataclasses.replace(
+            artifact.provenance, resumed_from=None
+        )
+        entry = {
+            "stage": stage_name,
+            "provides": artifact.name,
+            "value_key": value_key,
+            "provenance": provenance.as_dict(),
+        }
+        self._entries = [
+            e for e in self._entries if e["stage"] != stage_name
+        ] + [entry]
+        self._flush()
+
+
+def resolve_journal(
+    journal: Optional[Union[str, Path, RunJournal]]
+) -> Optional[RunJournal]:
+    """A :class:`RunJournal` from a path or pass-through, or ``None``."""
+    if journal is None or isinstance(journal, RunJournal):
+        return journal
+    return RunJournal(journal)

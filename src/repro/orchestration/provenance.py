@@ -85,6 +85,12 @@ class Provenance:
         Stage wall time (informational only: never part of any digest).
     executor / workers / units:
         Which runtime executor ran the stage's work units.
+    resumed_from:
+        Path of the run journal this artifact was rehydrated from on a
+        resumed run (``None`` when the stage actually executed).  Like
+        wall time, informational only — never part of any digest, so a
+        resumed run's digests stay bit-identical to an uninterrupted
+        run's.
     """
 
     stage: str
@@ -99,6 +105,7 @@ class Provenance:
     executor: str = "serial"
     workers: int = 1
     units: int = 0
+    resumed_from: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -114,6 +121,7 @@ class Provenance:
             "executor": self.executor,
             "workers": self.workers,
             "units": self.units,
+            "resumed_from": self.resumed_from,
         }
 
     @staticmethod
@@ -134,6 +142,7 @@ class Provenance:
             executor=str(data.get("executor", "serial")),
             workers=int(data.get("workers", 1)),
             units=int(data.get("units", 0)),
+            resumed_from=data.get("resumed_from"),
         )
 
 

@@ -26,11 +26,14 @@ is re-exported here.
 
 from ..errors import (
     CheckpointError,
+    ExecutorError,
     FederatedRoundError,
     FeatureGuardError,
     ResilienceError,
     RetryError,
     SignalQualityError,
+    SupervisionError,
+    WorkUnitPoisonError,
 )
 from .degradation import (
     ABSTAINED,
@@ -59,7 +62,10 @@ from .faults import (
     MotionBurst,
     NaNBurst,
     SampleLoss,
+    UnitHang,
+    UnitRaise,
     ValueClipping,
+    WorkerCrash,
     get_fault_plan,
     register_fault_plan,
     registered_fault_plans,
@@ -82,6 +88,9 @@ __all__ = [
     "FeatureGuardError",
     "RetryError",
     "FederatedRoundError",
+    "ExecutorError",
+    "SupervisionError",
+    "WorkUnitPoisonError",
     # faults
     "Fault",
     "FaultPlan",
@@ -93,6 +102,9 @@ __all__ = [
     "ValueClipping",
     "MotionBurst",
     "FeatureNaN",
+    "UnitRaise",
+    "WorkerCrash",
+    "UnitHang",
     "CheckpointCorruption",
     "CHECKPOINT_CORRUPTION_MODES",
     "FAULT_PLANS",

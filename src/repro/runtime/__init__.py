@@ -31,7 +31,18 @@ from .executor import (
     RuntimeStats,
     SerialExecutor,
     make_executor,
+    resolve_mp_context,
     spawn_seeds,
+)
+from .supervision import (
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    SupervisedExecutor,
+    SupervisedOutcome,
+    SupervisionPolicy,
+    UnitFailure,
+    supervised_map,
 )
 
 __all__ = [
@@ -39,8 +50,17 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "resolve_mp_context",
     "spawn_seeds",
     "RuntimeStats",
+    "SupervisedExecutor",
+    "SupervisionPolicy",
+    "SupervisedOutcome",
+    "UnitFailure",
+    "supervised_map",
+    "FAILURE_EXCEPTION",
+    "FAILURE_CRASH",
+    "FAILURE_TIMEOUT",
     "ContentCache",
     "CacheStats",
     "content_key",

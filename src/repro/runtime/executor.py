@@ -29,8 +29,39 @@ from typing import Callable, Iterable, List, Optional, TypeVar
 
 import numpy as np
 
+from ..errors import ExecutorError
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def resolve_mp_context(mp_context: Optional[str] = None):
+    """Resolve a multiprocessing start method into a context, typed-ly.
+
+    ``None`` selects ``fork`` (cheap on Linux: children share the
+    already-imported interpreter state).  On platforms without fork the
+    caller must choose explicitly — a silent fallback to ``spawn``
+    would change worker startup semantics behind the caller's back —
+    so we raise an :class:`~repro.errors.ExecutorError` that says
+    exactly what to pass instead of crashing deep inside the pool.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if mp_context is not None:
+        if mp_context not in methods:
+            raise ExecutorError(
+                f"multiprocessing start method {mp_context!r} is not "
+                f"available on this platform (have: {sorted(methods)})"
+            )
+        return multiprocessing.get_context(mp_context)
+    if "fork" not in methods:
+        raise ExecutorError(
+            "this platform has no 'fork' start method; construct the "
+            "executor with an explicit mp_context='spawn' (worker "
+            "functions must be importable module-level callables)"
+        )
+    return multiprocessing.get_context("fork")
 
 
 def spawn_seeds(
@@ -116,30 +147,32 @@ class ParallelExecutor(Executor):
     output is bit-identical to :class:`SerialExecutor` on the same
     work list.  Falls back to in-process execution for zero or one
     unit, where a pool would only add overhead.
+
+    ``mp_context`` names the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"``); the default requires fork and
+    raises a typed :class:`~repro.errors.ExecutorError` on platforms
+    that lack it (see :func:`resolve_mp_context`).
     """
 
     name = "parallel"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self, workers: Optional[int] = None, mp_context: Optional[str] = None
+    ):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.mp_context = mp_context
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
         if len(items) <= 1 or self.workers == 1:
             return [fn(item) for item in items]
-        import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
-        # fork shares the already-imported interpreter state with the
-        # children (cheap on Linux); spawn is the portable fallback.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
+        context = resolve_mp_context(self.mp_context)
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(items)), mp_context=context
         ) as pool:
@@ -147,8 +180,10 @@ class ParallelExecutor(Executor):
             return [f.result() for f in futures]
 
 
-def make_executor(workers: Optional[int] = None) -> Executor:
+def make_executor(
+    workers: Optional[int] = None, mp_context: Optional[str] = None
+) -> Executor:
     """``workers`` ∈ {None, 0, 1} → serial; otherwise a process pool."""
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers)
+    return ParallelExecutor(workers, mp_context=mp_context)

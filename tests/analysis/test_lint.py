@@ -68,6 +68,12 @@ class TestRuleFixtures:
             "from repro.orchestration.context import resolve_executor\n"
             "executor = resolve_executor(None)\n",
         ),
+        "RPR018": (
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+            "import logging\n"
+            "try:\n    work()\nexcept Exception:\n"
+            "    logging.getLogger(__name__).warning('failed')\n",
+        ),
     }
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
@@ -178,6 +184,70 @@ class TestRuleEdges:
         assert "RPR009" not in codes_of(
             "from repro.runtime import SerialExecutor\n"
             "ok = isinstance(x, SerialExecutor)\n"
+        )
+
+
+class TestSilentSwallow:
+    """RPR018: broad excepts must do something with the exception."""
+
+    def test_ellipsis_body_flagged(self):
+        assert "RPR018" in codes_of(
+            "try:\n    work()\nexcept Exception:\n    ...\n"
+        )
+
+    def test_base_exception_flagged(self):
+        assert "RPR018" in codes_of(
+            "try:\n    work()\nexcept BaseException:\n    pass\n"
+        )
+
+    def test_broad_member_of_tuple_flagged(self):
+        assert "RPR018" in codes_of(
+            "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n"
+        )
+
+    def test_attribute_form_flagged(self):
+        assert "RPR018" in codes_of(
+            "import builtins\n"
+            "try:\n    work()\nexcept builtins.Exception:\n    pass\n"
+        )
+
+    def test_bound_name_does_not_narrow(self):
+        assert "RPR018" in codes_of(
+            "try:\n    work()\nexcept Exception as exc:\n    pass\n"
+        )
+
+    def test_narrow_exception_allowed(self):
+        assert codes_of("try:\n    work()\nexcept ValueError:\n    pass\n") == []
+
+    def test_reraise_allowed(self):
+        assert "RPR018" not in codes_of(
+            "try:\n    work()\nexcept Exception:\n    raise\n"
+        )
+
+    def test_logging_allowed(self):
+        assert "RPR018" not in codes_of(
+            "import logging\n"
+            "try:\n    work()\nexcept Exception:\n"
+            "    logging.getLogger(__name__).warning('x')\n"
+        )
+
+    def test_assignment_body_allowed(self):
+        assert "RPR018" not in codes_of(
+            "try:\n    work()\nexcept Exception:\n    failed = True\n"
+        )
+
+    def test_bare_except_is_rpr004_not_rpr018(self):
+        # The untyped handler is RPR004's domain; flagging it twice
+        # would punish the same line under two codes.
+        codes = codes_of("try:\n    work()\nexcept:\n    pass\n")
+        assert "RPR004" in codes
+        assert "RPR018" not in codes
+
+    def test_docstring_comment_body_still_silent(self):
+        # A lone string constant is not Ellipsis, so the handler *does*
+        # contain a statement — but pass+... mixtures stay flagged.
+        assert "RPR018" in codes_of(
+            "try:\n    work()\nexcept Exception:\n    pass\n    ...\n"
         )
 
 

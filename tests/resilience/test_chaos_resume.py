@@ -1,0 +1,179 @@
+"""Kill-injection: a SIGKILLed run resumes bit-identically from its journal."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run(argv, cwd):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.run(
+        argv, cwd=str(cwd), env=env, capture_output=True, text=True
+    )
+
+
+GRAPH_SCRIPT = """
+import os, signal, sys
+from repro.orchestration import PipelineGraph, Stage
+
+journal, counter = sys.argv[1], sys.argv[2]
+kill = len(sys.argv) > 3 and sys.argv[3] == "kill"
+
+def bump(name):
+    with open(counter, "a") as fh:
+        fh.write(name + "\\n")
+
+def s_a(ctx):
+    bump("a")
+    return 11
+
+def s_b(ctx, a):
+    bump("b")
+    if kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return a + 1
+
+def s_c(ctx, b):
+    bump("c")
+    return b * 3
+
+graph = PipelineGraph(
+    "killdemo",
+    [
+        Stage("a", s_a),
+        Stage("b", s_b, requires=("a",)),
+        Stage("c", s_c, requires=("b",)),
+    ],
+)
+run = graph.run(seed=5, journal=journal)
+print(run.value("c"), sorted(run.resumed_stages))
+"""
+
+
+class TestGraphLevelKill:
+    def test_sigkilled_graph_resumes_where_it_died(self, tmp_path):
+        journal = tmp_path / "run.json"
+        counter = tmp_path / "counter.txt"
+
+        first = _run(
+            [sys.executable, "-c", GRAPH_SCRIPT, str(journal), str(counter), "kill"],
+            tmp_path,
+        )
+        assert first.returncode == -signal.SIGKILL
+        # Write-ahead discipline: the completed stage is journaled, the
+        # stage the kill landed in is not.
+        entries = json.loads(journal.read_text())["entries"]
+        assert [e["stage"] for e in entries] == ["a"]
+        assert counter.read_text().splitlines() == ["a", "b"]
+
+        second = _run(
+            [sys.executable, "-c", GRAPH_SCRIPT, str(journal), str(counter)],
+            tmp_path,
+        )
+        assert second.returncode == 0, second.stderr
+        # Stage a was resumed (never re-executed); b and c ran.
+        assert second.stdout.strip() == "36 ['a']"
+        assert counter.read_text().splitlines() == ["a", "b", "b", "c"]
+
+    def test_uninterrupted_journal_matches_resumed(self, tmp_path):
+        resumed_journal = tmp_path / "resumed.json"
+        fresh_journal = tmp_path / "fresh.json"
+        counter = tmp_path / "c.txt"
+
+        _run(
+            [sys.executable, "-c", GRAPH_SCRIPT, str(resumed_journal), str(counter), "kill"],
+            tmp_path,
+        )
+        _run(
+            [sys.executable, "-c", GRAPH_SCRIPT, str(resumed_journal), str(counter)],
+            tmp_path,
+        )
+        _run(
+            [sys.executable, "-c", GRAPH_SCRIPT, str(fresh_journal), str(counter)],
+            tmp_path,
+        )
+        digests = lambda path: [
+            (e["stage"], e["provenance"]["digest"])
+            for e in json.loads(path.read_text())["entries"]
+        ]
+        assert digests(resumed_journal) == digests(fresh_journal)
+
+
+#: Kills the process inside table1's second stage ("cl") by patching
+#: the validation entry point the stage closure calls — after the first
+#: stage ("general") has completed and been journaled.
+CLI_KILLER = """
+import os, signal, sys
+import repro.experiments.runner as runner
+
+def killer(*args, **kwargs):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+runner.cl_validation = killer
+from repro.experiments.__main__ import main
+sys.exit(main(sys.argv[1:]))
+"""
+
+
+class TestExperimentsCliKill:
+    def test_resume_completes_a_sigkilled_run_bit_identically(self, tmp_path):
+        journal_dir = tmp_path / "journals"
+        common = ["table1", "--scale", "tiny"]
+
+        killed = _run(
+            [sys.executable, "-c", CLI_KILLER, *common, "--journal", str(journal_dir)],
+            tmp_path,
+        )
+        assert killed.returncode == -signal.SIGKILL
+        entries = json.loads(
+            (journal_dir / "table1.json").read_text()
+        )["entries"]
+        assert [e["stage"] for e in entries] == ["general"]
+
+        resumed = _run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                *common,
+                "--resume",
+                str(journal_dir),
+                "--provenance",
+                str(tmp_path / "resumed.json"),
+            ],
+            tmp_path,
+        )
+        assert resumed.returncode in (0, 1), resumed.stderr  # 1 = tiny-scale checks
+
+        baseline = _run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                *common,
+                "--provenance",
+                str(tmp_path / "baseline.json"),
+            ],
+            tmp_path,
+        )
+        assert baseline.returncode in (0, 1), baseline.stderr
+
+        fingerprint = lambda name: [
+            (e["stage"], e["digest"])
+            for e in json.load(open(tmp_path / name))["table1"]
+        ]
+        assert fingerprint("resumed.json") == fingerprint("baseline.json")
+
+        resumed_lineage = json.load(open(tmp_path / "resumed.json"))["table1"]
+        by_stage = {e["stage"]: e for e in resumed_lineage}
+        assert by_stage["general"]["resumed_from"]  # rehydrated, not re-run
+        assert by_stage["cl"]["resumed_from"] is None  # killed mid-stage: re-ran

@@ -141,6 +141,56 @@ class TestContentCache:
             ContentCache(blocker / "cache")
 
 
+def _racing_object_writer(args):
+    """Executor worker: store an object under a contested key."""
+    root, key, value = args
+    ContentCache(root).store_object(key, value)
+    return True
+
+
+def _racing_array_writer(args):
+    root, key, fill = args
+    ContentCache(root).store_arrays(key, data=np.full(64, float(fill)))
+    return True
+
+
+class TestConcurrentWriters:
+    """Two+ processes racing ``os.replace`` on the same key both succeed."""
+
+    def test_same_key_same_value_all_win(self, tmp_path):
+        key = content_key("race.v1", "same-value")
+        work = [(str(tmp_path), key, {"payload": 7})] * 8
+        results = ParallelExecutor(4).map(_racing_object_writer, work)
+        assert results == [True] * 8
+        assert ContentCache(tmp_path).load_object(key) == {"payload": 7}
+
+    def test_same_key_different_values_entry_stays_valid(self, tmp_path):
+        # Racing writers with *different* payloads: whichever os.replace
+        # lands last wins, and the surviving entry is never torn.
+        key = content_key("race.v1", "different-values")
+        work = [(str(tmp_path), key, i) for i in range(8)]
+        results = ParallelExecutor(4).map(_racing_object_writer, work)
+        assert results == [True] * 8
+        assert ContentCache(tmp_path).load_object(key) in set(range(8))
+
+    def test_racing_array_writers(self, tmp_path):
+        key = content_key("race.v1", "arrays")
+        work = [(str(tmp_path), key, 3.5)] * 6
+        assert ParallelExecutor(3).map(_racing_array_writer, work) == [True] * 6
+        loaded = ContentCache(tmp_path).load_arrays(key)
+        np.testing.assert_array_equal(loaded["data"], np.full(64, 3.5))
+
+    def test_no_temp_files_leak_after_race(self, tmp_path):
+        key = content_key("race.v1", "leak-check")
+        work = [(str(tmp_path), key, "v")] * 8
+        ParallelExecutor(4).map(_racing_object_writer, work)
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+        assert len(ContentCache(tmp_path)) == 1
+
+
 def _unit(tmp_path, windows_per_map=2, window_seconds=8.0, cache=True):
     """A small but extractable one-trial work unit."""
     rng = np.random.default_rng(5)

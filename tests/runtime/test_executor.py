@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.errors import ExecutorError
 from repro.runtime import (
     Executor,
     ParallelExecutor,
     RuntimeStats,
     SerialExecutor,
     make_executor,
+    resolve_mp_context,
     spawn_seeds,
 )
 
@@ -77,6 +79,40 @@ class TestParallelExecutor:
 
     def test_default_workers_positive(self):
         assert ParallelExecutor().workers >= 1
+
+
+class TestMpContext:
+    def test_default_resolves_to_fork_on_linux(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork")
+        assert resolve_mp_context().get_start_method() == "fork"
+
+    def test_explicit_method_honoured(self):
+        assert resolve_mp_context("spawn").get_start_method() == "spawn"
+
+    def test_unknown_method_raises_typed_actionable(self):
+        with pytest.raises(ExecutorError) as excinfo:
+            resolve_mp_context("definitely-not-a-method")
+        message = str(excinfo.value)
+        assert "definitely-not-a-method" in message
+        assert "have:" in message  # names the valid alternatives
+
+    def test_executor_with_bad_context_fails_at_map(self):
+        executor = ParallelExecutor(2, mp_context="bogus")
+        with pytest.raises(ExecutorError, match="bogus"):
+            executor.map(square, range(4))
+
+    def test_executor_runs_under_spawn(self):
+        # Worker must be a module-level importable callable under spawn.
+        items = list(range(4))
+        result = ParallelExecutor(2, mp_context="spawn").map(square, items)
+        assert result == [i * i for i in items]
+
+    def test_make_executor_threads_context_through(self):
+        executor = make_executor(2, mp_context="spawn")
+        assert executor.mp_context == "spawn"
 
 
 class TestMakeExecutor:

@@ -4,8 +4,6 @@ import json
 
 import pytest
 
-from repro.core import CLEARConfig, FineTuneConfig, ModelConfig, TrainingConfig
-from repro.datasets import WEMACConfig
 from repro.experiments import (
     ExperimentReport,
     ExperimentScale,
@@ -20,20 +18,8 @@ from repro.experiments.__main__ import build_parser
 
 @pytest.fixture(scope="module")
 def tiny_scale():
-    """A scale small enough for unit tests."""
-    return ExperimentScale(
-        dataset=WEMACConfig.tiny(seed=0),
-        clear=CLEARConfig(
-            num_clusters=4,
-            subclusters_per_cluster=2,
-            gc_refinements=2,
-            model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
-            training=TrainingConfig(epochs=6, batch_size=8, early_stopping_patience=2),
-            fine_tuning=FineTuneConfig(epochs=3),
-            seed=0,
-        ),
-        max_folds=2,
-    )
+    """A scale small enough for unit tests (the CLI's ``--scale tiny``)."""
+    return ExperimentScale.tiny(seed=0)
 
 
 class TestReportContainers:
@@ -119,6 +105,22 @@ class TestCLI:
     def test_parser_provenance_flag(self):
         args = build_parser().parse_args(["fig2", "--provenance", "prov.json"])
         assert args.provenance == "prov.json"
+
+    def test_parser_tiny_scale(self):
+        assert build_parser().parse_args(["--scale", "tiny"]).scale == "tiny"
+
+    def test_parser_journal_and_resume_are_synonyms(self):
+        parser = build_parser()
+        assert parser.parse_args(["--journal", "runs/j"]).journal == "runs/j"
+        assert parser.parse_args(["--resume", "runs/j"]).journal == "runs/j"
+        assert parser.parse_args([]).journal is None
+
+    def test_tiny_scale_journal_paths(self, tmp_path, tiny_scale):
+        assert tiny_scale.journal_path("table1") is None  # no journal dir
+        import dataclasses
+
+        scaled = dataclasses.replace(tiny_scale, journal_dir=str(tmp_path))
+        assert scaled.journal_path("table1") == str(tmp_path / "table1.json")
 
     def test_main_writes_provenance(self, tmp_path, capsys):
         from repro.experiments.__main__ import main

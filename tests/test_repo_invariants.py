@@ -38,6 +38,7 @@ def test_all_rules_enabled_by_default():
         "RPR007",
         "RPR008",
         "RPR009",
+        "RPR018",
     }
 
 
