@@ -55,6 +55,14 @@ RPR009
     fragment cache statistics and executor provenance.  Accept an
     ``Executor`` / ``cache_dir`` or go through
     ``repro.orchestration.context``.
+RPR019
+    Raw-loop tensor math (``@`` / ``dot`` / ``matmul`` / ``einsum`` /
+    ``tensordot`` / ``as_strided`` inside a ``for``/``while`` loop) in
+    ``repro/nn`` outside the ``backends`` package.  The hot path is
+    owned by :mod:`repro.nn.backends` — kernels that loop over GEMMs
+    belong to a ``ComputeBackend`` implementation, where the optimized
+    backend can batch or preallocate them; anywhere else they silently
+    rot the layer/backend split this repo's speedups depend on.
 """
 
 from __future__ import annotations
@@ -534,6 +542,65 @@ class SilentExceptionSwallowRule(LintRule):
                     f"failure; re-raise a typed error, log it, or record "
                     f"degraded health instead",
                 )
+
+
+@register
+class RawLoopTensorMathRule(LintRule):
+    """RPR019: raw-loop tensor math in repro/nn outside the backends package.
+
+    Inner loops over matrix products are exactly what the pluggable
+    backend layer exists to own (workspace reuse, batched BPTT, dtype
+    policy).  A ``@`` / ``np.dot`` / ``einsum`` / ``as_strided`` inside
+    a ``for``/``while`` loop anywhere else under ``repro/nn`` is a
+    kernel escaping the backend — it will never see those optimizations
+    and splits the hot path across layers again."""
+
+    code = "RPR019"
+
+    _TENSOR_CALLS = frozenset(
+        {"dot", "matmul", "einsum", "tensordot", "as_strided"}
+    )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        parts = Path(path).parts
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] == "nn":
+                return "backends" not in parts[i + 2 :]
+        return False
+
+    def _tensor_op(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return "@"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            else:
+                return None
+            if name in self._TENSOR_CALLS:
+                return f"{name}()"
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if not self._in_scope(path):
+            return
+        seen: set = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            for inner in ast.walk(node):
+                op = self._tensor_op(inner)
+                if op is not None and id(inner) not in seen:
+                    seen.add(id(inner))
+                    yield self.finding(
+                        path,
+                        inner,
+                        f"tensor math ({op}) inside a loop outside "
+                        f"repro/nn/backends; move the kernel into a "
+                        f"ComputeBackend so the hot path stays pluggable",
+                    )
 
 
 # -- engine --------------------------------------------------------------

@@ -77,7 +77,9 @@ def build_cnn_lstm(
             f"architecture's pooling {cfg.pool_size}"
         )
 
-    model = nn.Sequential(cnn_lstm_layers(cfg, seed=seed), seed=seed)
+    model = nn.Sequential(
+        cnn_lstm_layers(cfg, seed=seed), seed=seed, backend=cfg.backend
+    )
     model.build(tuple(input_shape))
     return model
 

@@ -24,6 +24,10 @@ class ModelConfig:
     #: Replace the last-state read-out with temporal-attention pooling
     #: over the full hidden sequence (architecture extension).
     attention_readout: bool = False
+    #: Compute backend for the built model: 'reference' (bit-identical
+    #: goldens; the paper-scale numbers use this) or 'optimized' (fast
+    #: serving path; see :mod:`repro.nn.backends`).
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if len(self.conv_filters) != 2:
@@ -34,6 +38,13 @@ class ModelConfig:
             raise ValueError(
                 f"recurrent_cell must be 'lstm', 'gru' or 'rnn', "
                 f"got {self.recurrent_cell!r}"
+            )
+        from ..nn.backends import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, "
+                f"got {self.backend!r}"
             )
 
 

@@ -19,6 +19,18 @@ class ResilienceError(RuntimeError):
     """Base class for every typed failure the resilience layer raises."""
 
 
+class PaddingError(ValueError):
+    """A padding spec cannot be resolved to static symmetric pads.
+
+    Raised by :func:`repro.nn.layers.conv.resolve_padding` for
+    ``'same'`` with an even kernel: ceil-mode output there needs
+    input-size-dependent *asymmetric* pads, which :class:`Conv2D`
+    computes per batch but a static ``(ph, pw)`` pair cannot express.
+    A ``ValueError`` subclass so pre-existing callers that caught
+    ``ValueError`` keep working.
+    """
+
+
 class CheckpointError(ResilienceError):
     """A checkpoint file is missing, truncated, corrupt, or fails its checksum."""
 

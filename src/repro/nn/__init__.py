@@ -7,7 +7,14 @@ checkpointing, layer freezing for on-device fine-tuning), all verified
 by numerical gradient checks in the test suite.
 """
 
-from . import activations, initializers
+from . import activations, backends, initializers
+from .backends import (
+    ComputeBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    set_default_backend,
+)
 from .callbacks import (
     BestWeights,
     Callback,
@@ -61,7 +68,13 @@ from .schedules import (
 
 __all__ = [
     "activations",
+    "backends",
     "initializers",
+    "ComputeBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "set_default_backend",
     "Layer",
     "Dense",
     "Conv2D",

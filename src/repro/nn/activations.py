@@ -41,8 +41,15 @@ def elu_grad(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid.
+
+    Preserves floating input dtypes (``float32`` in stays ``float32``
+    out, for the optimized backend's serving path); non-float inputs
+    promote to ``float64`` as before.
+    """
+    x = np.asarray(x)
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])

@@ -29,19 +29,35 @@ CONFIG_KEY = "__config__"
 CHECKSUM_KEY = "__checksum__"
 
 
-def model_to_config(model: Sequential) -> list:
-    """Serializable architecture description (one dict per layer)."""
-    config = []
+def model_to_config(model: Sequential) -> dict:
+    """Serializable architecture description.
+
+    Returns ``{"backend": <name>, "layers": [{"class", "config"}, ...]}``
+    so a restored model runs on the same compute backend it was saved
+    with (parameters themselves are backend-independent ``float64``).
+    """
+    layers = []
     for layer in model.layers:
         entry = {"class": type(layer).__name__, "config": layer.get_config()}
-        config.append(entry)
-    return config
+        layers.append(entry)
+    return {"backend": model.backend.name, "layers": layers}
 
 
-def model_from_config(config: list, seed: int = 0) -> Sequential:
-    """Rebuild an (unbuilt) model from :func:`model_to_config` output."""
+def model_from_config(config, seed: int = 0) -> Sequential:
+    """Rebuild an (unbuilt) model from :func:`model_to_config` output.
+
+    Accepts both the current dict format (with a ``"backend"`` entry)
+    and the legacy bare list of layer entries written by pre-backend
+    checkpoints, which load onto the default backend.
+    """
+    if isinstance(config, dict):
+        backend = config.get("backend")
+        entries = config["layers"]
+    else:
+        backend = None
+        entries = config
     layers = []
-    for entry in config:
+    for entry in entries:
         cls_name = entry["class"]
         if cls_name not in LAYER_REGISTRY:
             raise ValueError(f"unknown layer class in checkpoint: {cls_name!r}")
@@ -49,7 +65,7 @@ def model_from_config(config: list, seed: int = 0) -> Sequential:
         kwargs = dict(entry["config"])
         # JSON turns tuples into lists; constructors accept both.
         layers.append(cls(**kwargs))
-    return Sequential(layers, seed=seed)
+    return Sequential(layers, seed=seed, backend=backend)
 
 
 def compute_checksum(arrays: Dict[str, np.ndarray]) -> str:

@@ -11,20 +11,18 @@ from .base import Layer
 
 
 class ReLU(Layer):
-    """Rectified linear unit layer."""
+    """Rectified linear unit layer.
 
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name=name)
-        self._x: Optional[np.ndarray] = None
+    The only activation on the CNN hot path, so it delegates to the
+    backend (the optimized backend caches the sign mask from forward
+    instead of recomputing and casting it in backward).
+    """
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
-        return F.relu(x)
+        return self.backend.relu_forward(x, self._backend_state)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x is None:
-            raise RuntimeError("backward called before forward")
-        return grad_out * F.relu_grad(self._x)
+        return self.backend.relu_backward(grad_out, self._backend_state)
 
 
 class LeakyReLU(Layer):

@@ -34,6 +34,32 @@ class Layer:
         self.built = False
         self.frozen = False
         self.training = True
+        # Compute-backend plumbing: None means "follow the process-wide
+        # default"; the state dict is this layer's private cache /
+        # workspace storage, owned by whichever backend runs it.
+        self._backend = None
+        self._backend_state: Dict = {}
+
+    # -- backend ---------------------------------------------------------
+    @property
+    def backend(self):
+        """The :class:`~repro.nn.backends.ComputeBackend` running this layer."""
+        if self._backend is None:
+            from .. import backends as _backends
+
+            return _backends.default_backend()
+        return self._backend
+
+    def set_backend(self, backend) -> None:
+        """Pin this layer to a backend (name or instance).
+
+        Clears the backend state dict: caches and workspaces are private
+        to one backend and must not leak across implementations.
+        """
+        from .. import backends as _backends
+
+        self._backend = _backends.get_backend(backend)
+        self._backend_state.clear()
 
     # -- lifecycle -------------------------------------------------------
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:

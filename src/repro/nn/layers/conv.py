@@ -2,7 +2,20 @@
 
 im2col turns convolution into a single large matrix multiply, which is
 the standard trick for getting acceptable performance from a pure-numpy
-implementation while keeping backprop exact and simple.
+implementation while keeping backprop exact and simple.  The tensor
+kernels themselves live in :mod:`repro.nn.backends`; the layers here
+hold parameters and shape logic and delegate all math to their backend
+(``im2col``/``col2im``/``conv_output_size`` are re-exported for
+backwards compatibility).
+
+Padding semantics: ``'same'`` with an odd kernel uses the historical
+symmetric ``(k - 1) // 2`` pads, which already yield ``ceil(in / s)``
+outputs for every stride.  Even kernels need *asymmetric* ceil-mode
+pads that depend on the input size, so :class:`Conv2D` resolves them
+per batch; :func:`resolve_padding` — whose static ``(ph, pw)`` return
+type cannot express that — raises a typed
+:class:`~repro.errors.PaddingError` instead of silently under-padding
+as it used to.
 """
 
 from __future__ import annotations
@@ -11,7 +24,15 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ...errors import PaddingError
 from .. import initializers
+from ..backends.base import PadPairs
+from ..backends.reference import (  # noqa: F401  (re-exported API)
+    as_pad_pairs,
+    col2im,
+    conv_output_size,
+    im2col,
+)
 from .base import Layer
 
 PadSpec = Union[str, int, Tuple[int, int]]
@@ -26,90 +47,54 @@ def _pair(value) -> Tuple[int, int]:
     return int(value), int(value)
 
 
+def same_axis_pads(size: int, kernel: int, stride: int) -> Tuple[int, int]:
+    """Ceil-mode ``'same'`` pads (before, after) along one axis.
+
+    Odd kernels keep the historical symmetric ``(k - 1) // 2`` pads
+    (already ceil-mode for every stride, and pinned by the repo's golden
+    fingerprints).  Even kernels get the TF-style asymmetric split of
+    the minimal total pad reaching ``ceil(size / stride)`` outputs.
+    """
+    if kernel % 2 == 1:
+        pad = (kernel - 1) // 2
+        return pad, pad
+    out = -(-size // stride)  # ceil division
+    total = max((out - 1) * stride + kernel - size, 0)
+    return total // 2, total - total // 2
+
+
 def resolve_padding(
     padding: PadSpec, kernel: Tuple[int, int], stride: Tuple[int, int]
 ) -> Tuple[int, int]:
     """Resolve a padding spec into per-axis symmetric pad sizes.
 
-    ``'same'`` pads so that output size equals ``ceil(input / stride)``
-    for odd kernels with stride 1; ``'valid'`` means no padding.
+    ``'same'`` pads so that output size equals ``ceil(input / stride)``;
+    ``'valid'`` means no padding.
+
+    Raises
+    ------
+    PaddingError
+        For ``'same'`` with an even kernel on either axis: the required
+        ceil-mode pads are asymmetric and depend on the input size, so
+        no symmetric ``(ph, pw)`` pair is correct (the old behaviour
+        silently returned too-small pads).  Use :class:`Conv2D`, which
+        resolves even-kernel ``'same'`` per input, or pass explicit
+        pads.
     """
     if isinstance(padding, str):
         mode = padding.lower()
         if mode == "valid":
             return 0, 0
         if mode == "same":
+            if kernel[0] % 2 == 0 or kernel[1] % 2 == 0:
+                raise PaddingError(
+                    f"'same' padding with even kernel {tuple(kernel)} needs "
+                    f"input-dependent asymmetric pads; use Conv2D (which "
+                    f"resolves it per batch) or pass explicit (ph, pw) pads"
+                )
             return (kernel[0] - 1) // 2, (kernel[1] - 1) // 2
         raise ValueError(f"unknown padding mode {padding!r}")
     return _pair(padding)
-
-
-def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
-    """Spatial output size of a convolution along one axis."""
-    out = (size + 2 * pad - kernel) // stride + 1
-    if out <= 0:
-        raise ValueError(
-            f"convolution produces non-positive output size "
-            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad})"
-        )
-    return out
-
-
-def im2col(
-    x: np.ndarray,
-    kernel: Tuple[int, int],
-    stride: Tuple[int, int],
-    pad: Tuple[int, int],
-) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold ``x`` (N, C, H, W) into columns of receptive fields.
-
-    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
-    ``(N * out_h * out_w, C * kh * kw)``.
-    """
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = pad
-    out_h = conv_output_size(h, kh, sh, ph)
-    out_w = conv_output_size(w, kw, sw, pw)
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-    # Strided view: (N, C, out_h, out_w, kh, kw)
-    s_n, s_c, s_h, s_w = x.strides
-    view = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
-        writeable=False,
-    )
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), (out_h, out_w)
-
-
-def col2im(
-    cols: np.ndarray,
-    x_shape: Tuple[int, int, int, int],
-    kernel: Tuple[int, int],
-    stride: Tuple[int, int],
-    pad: Tuple[int, int],
-) -> np.ndarray:
-    """Fold gradient columns back into an image tensor (adjoint of im2col)."""
-    n, c, h, w = x_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = pad
-    out_h = conv_output_size(h, kh, sh, ph)
-    out_w = conv_output_size(w, kw, sw, pw)
-    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
-    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += cols6[
-                :, :, :, :, i, j
-            ]
-    if ph or pw:
-        return padded[:, :, ph : ph + h, pw : pw + w]
-    return padded
 
 
 class Conv2D(Layer):
@@ -145,13 +130,31 @@ class Conv2D(Layer):
         self.kernel_size = _pair(kernel_size)
         self.stride = _pair(stride)
         self.padding_spec = padding
-        self.pad = resolve_padding(padding, self.kernel_size, self.stride)
+        kh, kw = self.kernel_size
+        if (
+            isinstance(padding, str)
+            and padding.lower() == "same"
+            and (kh % 2 == 0 or kw % 2 == 0)
+        ):
+            # Even-kernel 'same': ceil-mode pads depend on the input
+            # size, so they are resolved per call in _pad_pairs.
+            self.pad: Optional[Tuple[int, int]] = None
+        else:
+            self.pad = resolve_padding(padding, self.kernel_size, self.stride)
         self.use_bias = bool(use_bias)
         self.kernel_init = initializers.get(kernel_init)
         self.bias_init = initializers.get(bias_init)
-        self._cols: Optional[np.ndarray] = None
-        self._x_shape: Optional[Tuple[int, int, int, int]] = None
-        self._out_hw: Optional[Tuple[int, int]] = None
+        self._last_pad: Optional[PadPairs] = None
+
+    def _pad_pairs(self, h: int, w: int) -> PadPairs:
+        """Per-side pads for a concrete (h, w) input."""
+        if self.pad is not None:
+            ph, pw = self.pad
+            return (ph, ph), (pw, pw)
+        return (
+            same_axis_pads(h, self.kernel_size[0], self.stride[0]),
+            same_axis_pads(w, self.kernel_size[1], self.stride[1]),
+        )
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 3:
@@ -165,34 +168,33 @@ class Conv2D(Layer):
         self.built = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n = x.shape[0]
-        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.pad)
-        w2d = self.params["W"].reshape(self.filters, -1)
-        out = cols @ w2d.T
-        if self.use_bias:
-            out = out + self.params["b"]
-        self._cols = cols
-        self._x_shape = x.shape
-        self._out_hw = (out_h, out_w)
-        return out.reshape(n, out_h, out_w, self.filters).transpose(0, 3, 1, 2)
+        pad = self._pad_pairs(x.shape[2], x.shape[3])
+        self._last_pad = pad
+        return self.backend.conv2d_forward(
+            x,
+            self.params["W"],
+            self.params["b"] if self.use_bias else None,
+            self.stride,
+            pad,
+            self._backend_state,
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cols is None or self._x_shape is None:
+        if self._last_pad is None:
             raise RuntimeError("backward called before forward")
-        n = grad_out.shape[0]
-        grad2d = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.filters)
-        self.grads["W"] = (grad2d.T @ self._cols).reshape(self.params["W"].shape)
-        if self.use_bias:
-            self.grads["b"] = grad2d.sum(axis=0)
-        grad_cols = grad2d @ self.params["W"].reshape(self.filters, -1)
-        return col2im(
-            grad_cols, self._x_shape, self.kernel_size, self.stride, self.pad
+        dx, dw, db = self.backend.conv2d_backward(
+            grad_out, self.params["W"], self.stride, self._last_pad, self._backend_state
         )
+        self.grads["W"] = dw
+        if self.use_bias:
+            self.grads["b"] = db
+        return dx
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         _, h, w = input_shape
-        out_h = conv_output_size(h, self.kernel_size[0], self.stride[0], self.pad[0])
-        out_w = conv_output_size(w, self.kernel_size[1], self.stride[1], self.pad[1])
+        (pt, pb), (pl, pr) = self._pad_pairs(h, w)
+        out_h = conv_output_size(h, self.kernel_size[0], self.stride[0], (pt, pb))
+        out_w = conv_output_size(w, self.kernel_size[1], self.stride[1], (pl, pr))
         return (self.filters, out_h, out_w)
 
     def get_config(self) -> Dict:
@@ -215,47 +217,16 @@ class MaxPool2D(Layer):
         super().__init__(name=name)
         self.pool_size = _pair(pool_size)
         self.stride = _pair(stride) if stride is not None else self.pool_size
-        self._x_shape: Optional[Tuple[int, int, int, int]] = None
-        self._argmax: Optional[np.ndarray] = None
-        self._out_hw: Optional[Tuple[int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, c, h, w = x.shape
-        kh, kw = self.pool_size
-        sh, sw = self.stride
-        out_h = conv_output_size(h, kh, sh, 0)
-        out_w = conv_output_size(w, kw, sw, 0)
-        s_n, s_c, s_h, s_w = x.strides
-        view = np.lib.stride_tricks.as_strided(
-            x,
-            shape=(n, c, out_h, out_w, kh, kw),
-            strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
-            writeable=False,
+        return self.backend.maxpool2d_forward(
+            x, self.pool_size, self.stride, self._backend_state
         )
-        windows = view.reshape(n, c, out_h, out_w, kh * kw)
-        self._argmax = windows.argmax(axis=-1)
-        self._x_shape = x.shape
-        self._out_hw = (out_h, out_w)
-        return windows.max(axis=-1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x_shape is None or self._argmax is None:
-            raise RuntimeError("backward called before forward")
-        n, c, h, w = self._x_shape
-        kh, kw = self.pool_size
-        sh, sw = self.stride
-        out_h, out_w = self._out_hw
-        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
-        # Scatter each output gradient back to its argmax location.
-        oh_idx, ow_idx = np.meshgrid(
-            np.arange(out_h), np.arange(out_w), indexing="ij"
+        return self.backend.maxpool2d_backward(
+            grad_out, self.pool_size, self.stride, self._backend_state
         )
-        rows = oh_idx[None, None] * sh + self._argmax // kw
-        cols = ow_idx[None, None] * sw + self._argmax % kw
-        n_idx = np.arange(n)[:, None, None, None]
-        c_idx = np.arange(c)[None, :, None, None]
-        np.add.at(grad_in, (n_idx, c_idx, rows, cols), grad_out)
-        return grad_in
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape
@@ -278,40 +249,16 @@ class AvgPool2D(Layer):
         super().__init__(name=name)
         self.pool_size = _pair(pool_size)
         self.stride = _pair(stride) if stride is not None else self.pool_size
-        self._x_shape: Optional[Tuple[int, int, int, int]] = None
-        self._out_hw: Optional[Tuple[int, int]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, c, h, w = x.shape
-        kh, kw = self.pool_size
-        sh, sw = self.stride
-        out_h = conv_output_size(h, kh, sh, 0)
-        out_w = conv_output_size(w, kw, sw, 0)
-        s_n, s_c, s_h, s_w = x.strides
-        view = np.lib.stride_tricks.as_strided(
-            x,
-            shape=(n, c, out_h, out_w, kh, kw),
-            strides=(s_n, s_c, s_h * sh, s_w * sw, s_h, s_w),
-            writeable=False,
+        return self.backend.avgpool2d_forward(
+            x, self.pool_size, self.stride, self._backend_state
         )
-        self._x_shape = x.shape
-        self._out_hw = (out_h, out_w)
-        return view.mean(axis=(-2, -1))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x_shape is None:
-            raise RuntimeError("backward called before forward")
-        kh, kw = self.pool_size
-        sh, sw = self.stride
-        out_h, out_w = self._out_hw
-        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
-        scale = 1.0 / (kh * kw)
-        for i in range(kh):
-            for j in range(kw):
-                grad_in[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
-                    grad_out * scale
-                )
-        return grad_in
+        return self.backend.avgpool2d_backward(
+            grad_out, self.pool_size, self.stride, self._backend_state
+        )
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = input_shape

@@ -38,7 +38,6 @@ class Dense(Layer):
         self.use_bias = bool(use_bias)
         self.kernel_init = initializers.get(kernel_init)
         self.bias_init = initializers.get(bias_init)
-        self._x: Optional[np.ndarray] = None
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 1:
@@ -53,19 +52,21 @@ class Dense(Layer):
         self.built = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
-        out = x @ self.params["W"]
-        if self.use_bias:
-            out = out + self.params["b"]
-        return out
+        return self.backend.dense_forward(
+            x,
+            self.params["W"],
+            self.params["b"] if self.use_bias else None,
+            self._backend_state,
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._x is None:
-            raise RuntimeError("backward called before forward")
-        self.grads["W"] = self._x.T @ grad_out
+        dx, dw, db = self.backend.dense_backward(
+            grad_out, self.params["W"], self._backend_state
+        )
+        self.grads["W"] = dw
         if self.use_bias:
-            self.grads["b"] = grad_out.sum(axis=0)
-        return grad_out @ self.params["W"].T
+            self.grads["b"] = db
+        return dx
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return (self.units,)

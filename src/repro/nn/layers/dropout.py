@@ -32,7 +32,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # The mask adopts x's dtype so float32 activations are not
+        # silently upcast mid-network (values are unchanged for float64).
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / np.asarray(
+            keep, dtype=x.dtype
+        )
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -3,16 +3,16 @@
 Included as an alternative to the paper's LSTM so the architecture
 choice can be ablated (GRU has ~25 % fewer parameters per unit).
 Gate layout: columns ordered update (z), reset (r), candidate (h~).
+The fused time-step kernels live in :mod:`repro.nn.backends`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .. import initializers
-from ..activations import sigmoid, tanh
 from .base import Layer
 
 
@@ -34,7 +34,6 @@ class GRU(Layer):
         self.return_sequences = bool(return_sequences)
         self.kernel_init = initializers.get(kernel_init)
         self.recurrent_init = initializers.get(recurrent_init)
-        self._cache: Optional[Dict] = None
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 2:
@@ -48,81 +47,27 @@ class GRU(Layer):
         self.built = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, t, _ = x.shape
-        h = self.units
-        w, u, b = self.params["W"], self.params["U"], self.params["b"]
-        h_prev = np.zeros((n, h), dtype=np.float64)
-        hs = np.zeros((n, t, h), dtype=np.float64)
-        steps: List[Dict[str, np.ndarray]] = []
-        x_proj = x @ w + b  # (N, T, 3h)
-        for step in range(t):
-            xz = x_proj[:, step, :h]
-            xr = x_proj[:, step, h : 2 * h]
-            xh = x_proj[:, step, 2 * h :]
-            hu = h_prev @ u
-            z = sigmoid(xz + hu[:, :h])
-            r = sigmoid(xr + hu[:, h : 2 * h])
-            # Candidate uses the reset-gated recurrent contribution.
-            rh = r * h_prev
-            hh = tanh(xh + rh @ u[:, 2 * h :])
-            h_new = (1.0 - z) * h_prev + z * hh
-            steps.append(
-                {"z": z, "r": r, "hh": hh, "h_prev": h_prev, "rh": rh}
-            )
-            hs[:, step, :] = h_new
-            h_prev = h_new
-        self._cache = {"x": x, "steps": steps, "hs": hs}
+        hs = self.backend.gru_forward(
+            x,
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+            self._backend_state,
+        )
         return hs if self.return_sequences else hs[:, -1, :]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        hs = self._backend_state.get("hs")
+        if hs is None:
             raise RuntimeError("backward called before forward")
-        x = self._cache["x"]
-        steps = self._cache["steps"]
-        n, t, features = x.shape
-        h = self.units
-        w, u = self.params["W"], self.params["U"]
-
         if self.return_sequences:
             grad_hs = grad_out
         else:
-            grad_hs = np.zeros((n, t, h), dtype=np.float64)
+            grad_hs = np.zeros(hs.shape, dtype=grad_out.dtype)
             grad_hs[:, -1, :] = grad_out
-
-        d_w = np.zeros_like(w)
-        d_u = np.zeros_like(u)
-        d_b = np.zeros(3 * h, dtype=np.float64)
-        d_x = np.zeros_like(x)
-        dh_next = np.zeros((n, h), dtype=np.float64)
-
-        for step in range(t - 1, -1, -1):
-            cache = steps[step]
-            z, r, hh = cache["z"], cache["r"], cache["hh"]
-            h_prev, rh = cache["h_prev"], cache["rh"]
-            dh = grad_hs[:, step, :] + dh_next
-
-            dz_pre = dh * (hh - h_prev) * z * (1.0 - z)
-            dhh = dh * z
-            dhh_pre = dhh * (1.0 - hh * hh)
-            # Candidate path: hh = tanh(xh + (r*h_prev) @ U_h)
-            d_rh = dhh_pre @ u[:, 2 * h :].T
-            dr_pre = d_rh * h_prev * r * (1.0 - r)
-
-            dz_r_pre = np.concatenate([dz_pre, dr_pre], axis=1)  # (N, 2h)
-            dgates_pre = np.concatenate([dz_pre, dr_pre, dhh_pre], axis=1)
-
-            d_w += x[:, step, :].T @ dgates_pre
-            d_b += dgates_pre.sum(axis=0)
-            d_u[:, : 2 * h] += h_prev.T @ dz_r_pre
-            d_u[:, 2 * h :] += rh.T @ dhh_pre
-
-            d_x[:, step, :] = dgates_pre @ w.T
-            dh_next = (
-                dh * (1.0 - z)
-                + dz_r_pre @ u[:, : 2 * h].T
-                + d_rh * r
-            )
-
+        d_x, d_w, d_u, d_b = self.backend.gru_backward(
+            grad_hs, self.params["W"], self.params["U"], self._backend_state
+        )
         self.grads["W"] = d_w
         self.grads["U"] = d_u
         self.grads["b"] = d_b

@@ -1,17 +1,19 @@
 """Recurrent layers: LSTM and a simple (Elman) RNN.
 
 Inputs are batches of sequences, shape ``(N, T, F)``.  Backpropagation
-through time is exact and unrolled over the full sequence.
+through time is exact and unrolled over the full sequence.  The fused
+time-step kernels (and their stacked ``(N, T, ·)`` caches, which
+replaced the old per-step dict lists and their redundant
+``h_prev``/``c_prev`` copies) live in :mod:`repro.nn.backends`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .. import initializers
-from ..activations import sigmoid, tanh
 from .base import Layer
 
 
@@ -47,7 +49,6 @@ class LSTM(Layer):
         self.return_sequences = bool(return_sequences)
         self.kernel_init = initializers.get(kernel_init)
         self.recurrent_init = initializers.get(recurrent_init)
-        self._cache: Optional[Dict] = None
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 2:
@@ -63,88 +64,27 @@ class LSTM(Layer):
         self.built = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, t, _ = x.shape
-        h = self.units
-        w, u, b = self.params["W"], self.params["U"], self.params["b"]
-        h_prev = np.zeros((n, h), dtype=np.float64)
-        c_prev = np.zeros((n, h), dtype=np.float64)
-        hs = np.zeros((n, t, h), dtype=np.float64)
-        cache_steps: List[Dict[str, np.ndarray]] = []
-        x_proj = x @ w  # (N, T, 4h) — hoist the input projection out of the loop
-        for step in range(t):
-            z = x_proj[:, step, :] + h_prev @ u + b
-            i = sigmoid(z[:, :h])
-            f = sigmoid(z[:, h : 2 * h])
-            g = tanh(z[:, 2 * h : 3 * h])
-            o = sigmoid(z[:, 3 * h :])
-            c = f * c_prev + i * g
-            tanh_c = tanh(c)
-            h_new = o * tanh_c
-            cache_steps.append(
-                {
-                    "i": i,
-                    "f": f,
-                    "g": g,
-                    "o": o,
-                    "c": c,
-                    "tanh_c": tanh_c,
-                    "c_prev": c_prev,
-                    "h_prev": h_prev,
-                }
-            )
-            hs[:, step, :] = h_new
-            h_prev, c_prev = h_new, c
-        self._cache = {"x": x, "steps": cache_steps, "hs": hs}
+        hs = self.backend.lstm_forward(
+            x,
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+            self._backend_state,
+        )
         return hs if self.return_sequences else hs[:, -1, :]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        hs = self._backend_state.get("hs")
+        if hs is None:
             raise RuntimeError("backward called before forward")
-        x = self._cache["x"]
-        steps = self._cache["steps"]
-        n, t, features = x.shape
-        h = self.units
-        w, u = self.params["W"], self.params["U"]
-
         if self.return_sequences:
             grad_hs = grad_out
         else:
-            grad_hs = np.zeros((n, t, h), dtype=np.float64)
+            grad_hs = np.zeros(hs.shape, dtype=grad_out.dtype)
             grad_hs[:, -1, :] = grad_out
-
-        d_w = np.zeros_like(w)
-        d_u = np.zeros_like(u)
-        d_b = np.zeros(4 * h, dtype=np.float64)
-        d_x = np.zeros_like(x)
-        dh_next = np.zeros((n, h), dtype=np.float64)
-        dc_next = np.zeros((n, h), dtype=np.float64)
-
-        for step in range(t - 1, -1, -1):
-            cache = steps[step]
-            dh = grad_hs[:, step, :] + dh_next
-            i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
-            tanh_c = cache["tanh_c"]
-            dc = dc_next + dh * o * (1.0 - tanh_c * tanh_c)
-            do = dh * tanh_c
-            di = dc * g
-            dg = dc * i
-            df = dc * cache["c_prev"]
-            dz = np.concatenate(
-                [
-                    di * i * (1.0 - i),
-                    df * f * (1.0 - f),
-                    dg * (1.0 - g * g),
-                    do * o * (1.0 - o),
-                ],
-                axis=1,
-            )
-            d_w += x[:, step, :].T @ dz
-            d_u += cache["h_prev"].T @ dz
-            d_b += dz.sum(axis=0)
-            d_x[:, step, :] = dz @ w.T
-            dh_next = dz @ u.T
-            dc_next = dc * f
-
+        d_x, d_w, d_u, d_b = self.backend.lstm_backward(
+            grad_hs, self.params["W"], self.params["U"], self._backend_state
+        )
         self.grads["W"] = d_w
         self.grads["U"] = d_u
         self.grads["b"] = d_b
@@ -182,7 +122,6 @@ class SimpleRNN(Layer):
         self.return_sequences = bool(return_sequences)
         self.kernel_init = initializers.get(kernel_init)
         self.recurrent_init = initializers.get(recurrent_init)
-        self._cache: Optional[Dict] = None
 
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 2:
@@ -195,48 +134,27 @@ class SimpleRNN(Layer):
         self.built = True
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        n, t, _ = x.shape
-        h_prev = np.zeros((n, self.units), dtype=np.float64)
-        hs = np.zeros((n, t, self.units), dtype=np.float64)
-        for step in range(t):
-            h_prev = tanh(
-                x[:, step, :] @ self.params["W"]
-                + h_prev @ self.params["U"]
-                + self.params["b"]
-            )
-            hs[:, step, :] = h_prev
-        self._cache = {"x": x, "hs": hs}
+        hs = self.backend.rnn_forward(
+            x,
+            self.params["W"],
+            self.params["U"],
+            self.params["b"],
+            self._backend_state,
+        )
         return hs if self.return_sequences else hs[:, -1, :]
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        hs = self._backend_state.get("hs")
+        if hs is None:
             raise RuntimeError("backward called before forward")
-        x, hs = self._cache["x"], self._cache["hs"]
-        n, t, _ = x.shape
         if self.return_sequences:
             grad_hs = grad_out
         else:
-            grad_hs = np.zeros_like(hs)
+            grad_hs = np.zeros(hs.shape, dtype=grad_out.dtype)
             grad_hs[:, -1, :] = grad_out
-
-        d_w = np.zeros_like(self.params["W"])
-        d_u = np.zeros_like(self.params["U"])
-        d_b = np.zeros_like(self.params["b"])
-        d_x = np.zeros_like(x)
-        dh_next = np.zeros((n, self.units), dtype=np.float64)
-        for step in range(t - 1, -1, -1):
-            dh = grad_hs[:, step, :] + dh_next
-            h_t = hs[:, step, :]
-            dz = dh * (1.0 - h_t * h_t)
-            h_prev = (
-                hs[:, step - 1, :] if step > 0 else np.zeros((n, self.units))
-            )
-            d_w += x[:, step, :].T @ dz
-            d_u += h_prev.T @ dz
-            d_b += dz.sum(axis=0)
-            d_x[:, step, :] = dz @ self.params["W"].T
-            dh_next = dz @ self.params["U"].T
-
+        d_x, d_w, d_u, d_b = self.backend.rnn_backward(
+            grad_hs, self.params["W"], self.params["U"], self._backend_state
+        )
         self.grads["W"] = d_w
         self.grads["U"] = d_u
         self.grads["b"] = d_b

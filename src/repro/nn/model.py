@@ -8,6 +8,7 @@ import numpy as np
 
 from . import losses as losses_mod
 from . import optimizers as optim_mod
+from .backends import BackendLike, ComputeBackend, default_backend, get_backend
 from .callbacks import Callback, EpochLogger, History
 from .layers.base import Layer
 from .metrics import accuracy
@@ -45,10 +46,26 @@ class Sequential:
         Layer instances executed in order.
     seed:
         Seed for parameter initialization (and batch shuffling).
+    backend:
+        Compute backend name or instance for every layer (see
+        :mod:`repro.nn.backends`).  ``None`` follows the process-wide
+        default (``reference``); the backend also owns the dtype the
+        model computes in (``reference`` promotes everything to
+        ``float64``, ``optimized`` preserves ``float32``).
     """
 
-    def __init__(self, layers: Optional[Sequence[Layer]] = None, seed: int = 0):
-        self.layers: List[Layer] = list(layers) if layers else []
+    def __init__(
+        self,
+        layers: Optional[Sequence[Layer]] = None,
+        seed: int = 0,
+        backend: Optional[BackendLike] = None,
+    ):
+        self._backend: Optional[ComputeBackend] = (
+            get_backend(backend) if backend is not None else None
+        )
+        self.layers: List[Layer] = []
+        for layer in layers or []:
+            self.add(layer)
         self.rng = np.random.default_rng(seed)
         self.loss: Optional[losses_mod.Loss] = None
         self.optimizer: Optional[optim_mod.Optimizer] = None
@@ -56,8 +73,27 @@ class Sequential:
         self.stop_training = False
 
     # -- construction ----------------------------------------------------
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend this model runs on."""
+        return self._backend if self._backend is not None else default_backend()
+
+    def set_backend(self, backend: BackendLike) -> "Sequential":
+        """Switch every layer to ``backend``; returns self for chaining.
+
+        Parameters are untouched (they always live in ``float64``), so
+        switching is cheap and reversible at any point — e.g. train on
+        ``reference``, serve on ``optimized``.
+        """
+        self._backend = get_backend(backend)
+        for layer in self.layers:
+            layer.set_backend(self._backend)
+        return self
+
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer; returns self for chaining."""
+        if self._backend is not None:
+            layer.set_backend(self._backend)
         self.layers.append(layer)
         return self
 
@@ -106,10 +142,15 @@ class Sequential:
         for layer in self.layers:
             layer.training = training
 
+    def _cast_input(self, x: np.ndarray) -> np.ndarray:
+        """Apply the backend's dtype policy at the model boundary."""
+        x = np.asarray(x)
+        return x.astype(self.backend.compute_dtype(x.dtype), copy=False)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Run the full stack; builds lazily from the first batch."""
         self.set_training(training)
-        out = np.asarray(x, dtype=np.float64)
+        out = self._cast_input(x)
         for layer in self.layers:
             layer.ensure_built(out, self.rng)
             out = layer.forward(out)
@@ -123,11 +164,22 @@ class Sequential:
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Forward pass in eval mode, batched to bound memory."""
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast_input(x)
         outputs = []
         for start in range(0, x.shape[0], batch_size):
             outputs.append(self.forward(x[start : start + batch_size], training=False))
         return np.concatenate(outputs, axis=0)
+
+    def predict_many(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Batched multi-user forward: one fused pass over many requests.
+
+        Each entry of ``inputs`` is one user's batch, shape ``(n_i,
+        *features)`` with identical feature shapes.  The backend stacks
+        them into a single forward pass and splits the outputs back per
+        user — the serving-layer entry point that amortizes kernel and
+        dispatch overhead across concurrent edge requests.
+        """
+        return self.backend.forward_many(self, inputs)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Argmax class predictions."""
@@ -158,7 +210,7 @@ class Sequential:
         """Mini-batch training loop with optional validation and callbacks."""
         if self.loss is None or self.optimizer is None:
             raise RuntimeError("call compile() before training")
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast_input(x)
         y = np.asarray(y)
         if x.shape[0] != y.shape[0]:
             raise ValueError(
@@ -189,7 +241,7 @@ class Sequential:
             logs["accuracy"] = accuracy(y, train_pred)
             if validation_data is not None:
                 val_x, val_y = validation_data
-                val_logits = self.predict(np.asarray(val_x, dtype=np.float64))
+                val_logits = self.predict(val_x)
                 logs["val_loss"] = self.loss.loss(val_logits, np.asarray(val_y))
                 logs["val_accuracy"] = accuracy(np.asarray(val_y), val_logits)
             for cb in all_callbacks:

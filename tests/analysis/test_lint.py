@@ -16,8 +16,11 @@ from repro.analysis.lint import (
 )
 
 
-def codes_of(source):
-    return [f.code for f in lint_source(textwrap.dedent(source))]
+def codes_of(source, path="src/repro/nn/snippet.py"):
+    # The default path sits inside repro/nn so that path-scoped rules
+    # (RPR019) see the snippet; path-exempt rules (RPR008/RPR009) are
+    # not exempted there, so every rule can fire on its fixture.
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
 
 
 class TestRuleFixtures:
@@ -73,6 +76,14 @@ class TestRuleFixtures:
             "import logging\n"
             "try:\n    work()\nexcept Exception:\n"
             "    logging.getLogger(__name__).warning('failed')\n",
+        ),
+        "RPR019": (
+            "def bptt(xs, w):\n"
+            "    for x in xs:\n"
+            "        h = x @ w\n"
+            "    return h\n",
+            "def bptt(x2d, w):\n"
+            "    return x2d @ w\n",  # batched GEMM, no loop
         ),
     }
 

@@ -39,6 +39,7 @@ def test_all_rules_enabled_by_default():
         "RPR008",
         "RPR009",
         "RPR018",
+        "RPR019",
     }
 
 
