@@ -49,7 +49,7 @@ RPR009
     Direct construction of runtime machinery — executors
     (``SerialExecutor`` / ``ParallelExecutor`` / ``make_executor``) or
     content caches (``ContentCache`` / ``feature_map_cache`` /
-    ``checkpoint_cache``) — outside ``repro/runtime`` and
+    ``checkpoint_cache`` / ``serving_model_cache``) — outside ``repro/runtime`` and
     ``repro/orchestration``.  Runtime is injected once at the stage
     boundary by the orchestration layer; scattered construction sites
     fragment cache statistics and executor provenance.  Accept an
@@ -63,6 +63,16 @@ RPR019
     belong to a ``ComputeBackend`` implementation, where the optimized
     backend can batch or preallocate them; anywhere else they silently
     rot the layer/backend split this repo's speedups depend on.
+RPR020
+    Direct per-request inference (``.predict()`` / ``.predict_classes()``
+    / ``.forward()`` / ``.forward_many()``) inside ``repro/serving``
+    outside the ``batching`` module.  The micro-batcher is the single
+    inference entry point of the serving layer: it buckets requests by
+    shape and executes them on the canonical fixed-row slabs that make
+    batched results bit-identical to sequential ones.  A stray
+    ``model.predict()`` elsewhere in the serving layer bypasses both the
+    coalescing (the perf contract) and the canonical execution shape
+    (the determinism contract).
 """
 
 from __future__ import annotations
@@ -452,6 +462,7 @@ class RuntimeConstructionRule(LintRule):
             "ContentCache",
             "feature_map_cache",
             "checkpoint_cache",
+            "serving_model_cache",
         }
     )
     _EXEMPT_PACKAGES = ("runtime", "orchestration")
@@ -601,6 +612,52 @@ class RawLoopTensorMathRule(LintRule):
                         f"repro/nn/backends; move the kernel into a "
                         f"ComputeBackend so the hot path stays pluggable",
                     )
+
+
+@register
+class ServingBatchBypassRule(LintRule):
+    """RPR020: per-request inference in repro/serving outside batching.
+
+    The serving micro-batcher is the only sanctioned inference path of
+    the serving layer: it buckets requests by feature shape and runs
+    them through ``Sequential.predict_many`` on canonical fixed-row
+    slabs, which is what makes batched results bit-identical to
+    sequential ones.  A direct ``.predict()`` / ``.forward()`` anywhere
+    else under ``repro/serving`` bypasses both the request coalescing
+    (the throughput contract) and the canonical execution shape (the
+    determinism contract) — route the request through the batcher."""
+
+    code = "RPR020"
+
+    _BANNED_ATTRS = frozenset(
+        {"predict", "predict_classes", "forward", "forward_many"}
+    )
+
+    @staticmethod
+    def _in_scope(path: str) -> bool:
+        parts = Path(path).parts
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] == "serving":
+                return Path(path).stem != "batching"
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if not self._in_scope(path):
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BANNED_ATTRS
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"direct .{node.func.attr}() in repro/serving outside "
+                    f"the batching module bypasses the micro-batcher's "
+                    f"canonical slab execution; submit the request to the "
+                    f"MicroBatcher instead",
+                )
 
 
 # -- engine --------------------------------------------------------------

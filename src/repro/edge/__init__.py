@@ -38,6 +38,7 @@ from .streaming import (
     Detection,
     OnlineDetector,
     RingBuffer,
+    RollingWindowMap,
     StreamingFeatureExtractor,
     WindowEvent,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "battery_life_hours",
     "compare_devices",
     "RingBuffer",
+    "RollingWindowMap",
     "StreamingFeatureExtractor",
     "OnlineDetector",
     "WindowEvent",

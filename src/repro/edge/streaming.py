@@ -200,6 +200,50 @@ class StreamingFeatureExtractor:
         return min(times) >= self._next_emit_time - 1e-9
 
 
+class RollingWindowMap:
+    """The last W window vectors as a rolling ``F x W`` feature map.
+
+    The unit of inference everywhere in this codebase is a feature map
+    of ``windows_per_map`` consecutive window vectors; this class owns
+    the rolling-deque bookkeeping that turns a stream of vectors into
+    such maps.  Shared by :class:`OnlineDetector` (on-device runtime)
+    and :class:`repro.serving.sessions.UserSession` (fleet serving),
+    so both produce byte-identical maps from the same vector stream.
+    """
+
+    def __init__(self, windows_per_map: int):
+        if windows_per_map < 1:
+            raise ValueError("windows_per_map must be >= 1")
+        self.windows_per_map = int(windows_per_map)
+        self._vectors: Deque[np.ndarray] = deque(maxlen=self.windows_per_map)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def ready(self) -> bool:
+        """True once a full map's worth of windows has accumulated."""
+        return len(self._vectors) == self.windows_per_map
+
+    def push(self, vector: np.ndarray) -> bool:
+        """Append one window vector; returns :attr:`ready`."""
+        self._vectors.append(vector)
+        return self.ready
+
+    def current_map(self) -> FeatureMap:
+        """The rolling map (newest W windows, oldest first)."""
+        if not self.ready:
+            raise ValueError(
+                f"rolling map has {len(self._vectors)} of "
+                f"{self.windows_per_map} windows"
+            )
+        values = np.stack(list(self._vectors), axis=1)  # (F, W)
+        return FeatureMap(values, label=0, subject_id=-1)
+
+    def clear(self) -> None:
+        self._vectors.clear()
+
+
 @dataclass
 class Detection:
     """One smoothed classification decision.
@@ -235,8 +279,6 @@ class OnlineDetector:
         smoothing: int = 3,
         policy: Optional[DegradationPolicy] = None,
     ):
-        if windows_per_map < 1:
-            raise ValueError("windows_per_map must be >= 1")
         if smoothing < 1:
             raise ValueError("smoothing must be >= 1")
         self.model = model
@@ -251,7 +293,7 @@ class OnlineDetector:
             # Corrupt input must surface as a gated window; the policy
             # path handles extraction failures explicitly.
             streaming.capture_errors = True
-        self._window_vectors: Deque[np.ndarray] = deque(maxlen=self.windows_per_map)
+        self._rolling = RollingWindowMap(windows_per_map)
         self._recent_raw: Deque[int] = deque(maxlen=self.smoothing)
         self.detections: List[Detection] = []
 
@@ -275,8 +317,7 @@ class OnlineDetector:
 
     # -- plain path (no policy): identical to the pre-resilience runtime ----
     def _classify_plain(self, event: WindowEvent) -> Optional[Detection]:
-        self._window_vectors.append(event.features)
-        if len(self._window_vectors) < self.windows_per_map:
+        if not self._rolling.push(event.features):
             return None
         raw = int(self.model.predict_classes([self._current_map()])[0])
         smoothed = self._smooth(raw)
@@ -330,8 +371,7 @@ class OnlineDetector:
             ctrl.record_window(False)
             ctrl.observe_clean(vector)
 
-        self._window_vectors.append(vector)
-        if len(self._window_vectors) < self.windows_per_map:
+        if not self._rolling.push(vector):
             return None
 
         state = HEALTHY
@@ -382,8 +422,7 @@ class OnlineDetector:
         return {"bvp": r.bvp, "gsr": r.gsr, "skt": r.skt}
 
     def _current_map(self) -> FeatureMap:
-        values = np.stack(self._window_vectors, axis=1)  # (F, W)
-        return FeatureMap(values, label=0, subject_id=-1)
+        return self._rolling.current_map()
 
     def _prepare_input(self):
         from ..signals.feature_map import maps_to_arrays
@@ -398,7 +437,7 @@ class OnlineDetector:
 
     def reset(self) -> None:
         """Forget stream state (e.g. when the wearable is re-donned)."""
-        self._window_vectors.clear()
+        self._rolling.clear()
         self._recent_raw.clear()
         self.detections.clear()
         if self._controller is not None:

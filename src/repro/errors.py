@@ -126,6 +126,35 @@ class SupervisionError(ExecutorError):
         self.failures = tuple(failures)
 
 
+class ServingError(ResilienceError):
+    """The serving layer rejected a request or cannot serve a model.
+
+    Raised by :mod:`repro.serving` for *hard* failures — admission
+    control past its reject limit, a session for an unknown user, a
+    registry entry that cannot be rehydrated.  Overload below the hard
+    limit never raises: it sheds to the population-average fallback and
+    records the shed in the decision's
+    :class:`~repro.resilience.degradation.HealthStatus` instead.
+    """
+
+
+class AdmissionError(ServingError):
+    """Admission control rejected the request outright (hard limit).
+
+    Attributes
+    ----------
+    queue_depth:
+        Pending request count at rejection time.
+    limit:
+        The policy limit that was exceeded.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.queue_depth = int(queue_depth)
+        self.limit = int(limit)
+
+
 class JournalError(OrchestrationError):
     """A run journal is unreadable or does not match the graph run.
 

@@ -210,28 +210,65 @@ class ComputeBackend:
 
     # -- serving ---------------------------------------------------------
     def forward_many(
-        self, model, inputs: Sequence[np.ndarray]
+        self,
+        model,
+        inputs: Sequence[np.ndarray],
+        pad_rows: Optional[int] = None,
     ) -> List[np.ndarray]:
         """Batched multi-user forward: one fused pass over many requests.
 
         ``inputs`` is one array per user, each shaped ``(n_i, *feature
         shape)`` with identical feature shapes but arbitrary per-user
         batch sizes.  The requests are stacked into a single batch, run
-        through ``model`` in eval mode once, and split back per user —
-        the entry point the serving layer uses to amortize kernel
-        overhead across concurrent users.
+        through ``model`` in eval mode, and split back per user — the
+        entry point the serving layer uses to amortize kernel overhead
+        across concurrent users.
+
+        ``pad_rows`` selects *canonical fixed-shape execution*: the
+        stacked batch is processed in slabs of exactly ``pad_rows``
+        rows (the last slab zero-padded), so every GEMM in the network
+        runs at one batch shape no matter how requests were coalesced.
+        BLAS picks its kernels (and therefore its last-ulp rounding) by
+        operand shape, so without padding a request's logits depend on
+        which other requests shared its batch; at a fixed shape each
+        row's result depends only on that row's data.  This is what
+        makes the serving layer's micro-batched results bit-identical
+        to sequential per-user predicts — the same trick as padding to
+        a compiled batch shape on TPU-style serving stacks.
         """
         if not inputs:
             return []
-        feature_shapes = {tuple(np.shape(x)[1:]) for x in inputs}
-        if len(feature_shapes) != 1:
-            raise ValueError(
-                f"forward_many requires identical feature shapes across "
-                f"users, got {sorted(feature_shapes)}"
-            )
+        feature_shapes = [tuple(np.shape(x)[1:]) for x in inputs]
+        leader = feature_shapes[0]
+        for index, shape in enumerate(feature_shapes):
+            if shape != leader:
+                raise ValueError(
+                    f"forward_many requires identical feature shapes "
+                    f"across requests: request 0 has feature shape "
+                    f"{leader} but request {index} has {shape}; bucket "
+                    f"requests by feature shape (as the serving "
+                    f"micro-batcher does) before batching"
+                )
         counts = [int(np.shape(x)[0]) for x in inputs]
         stacked = np.concatenate([np.asarray(x) for x in inputs], axis=0)
-        out = model.forward(stacked, training=False)
+        stacked = model._cast_input(stacked)
+        if pad_rows is None or stacked.shape[0] == 0:
+            out = model.forward(stacked, training=False)
+        else:
+            if pad_rows < 1:
+                raise ValueError(f"pad_rows must be >= 1, got {pad_rows}")
+            slabs = []
+            for start in range(0, stacked.shape[0], pad_rows):
+                chunk = stacked[start : start + pad_rows]
+                rows = chunk.shape[0]
+                if rows < pad_rows:
+                    pad_shape = (pad_rows - rows,) + chunk.shape[1:]
+                    chunk = np.concatenate(
+                        [chunk, np.zeros(pad_shape, dtype=chunk.dtype)],
+                        axis=0,
+                    )
+                slabs.append(model.forward(chunk, training=False)[:rows])
+            out = np.concatenate(slabs, axis=0)
         offsets = np.cumsum(counts)[:-1]
         return np.split(out, offsets, axis=0)
 

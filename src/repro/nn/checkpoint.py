@@ -43,19 +43,25 @@ def model_to_config(model: Sequential) -> dict:
     return {"backend": model.backend.name, "layers": layers}
 
 
-def model_from_config(config, seed: int = 0) -> Sequential:
+def model_from_config(config, seed: int = 0, backend=None) -> Sequential:
     """Rebuild an (unbuilt) model from :func:`model_to_config` output.
 
     Accepts both the current dict format (with a ``"backend"`` entry)
     and the legacy bare list of layer entries written by pre-backend
-    checkpoints, which load onto the default backend.
+    checkpoints, which load onto the default backend.  An explicit
+    ``backend`` argument overrides whatever the config recorded — the
+    hook serving and deployment use to force the optimized hot path
+    (or pin reference) regardless of what the checkpoint was trained
+    on.
     """
     if isinstance(config, dict):
-        backend = config.get("backend")
+        saved_backend = config.get("backend")
         entries = config["layers"]
     else:
-        backend = None
+        saved_backend = None
         entries = config
+    if backend is None:
+        backend = saved_backend
     layers = []
     for entry in entries:
         cls_name = entry["class"]
@@ -141,12 +147,19 @@ def _load_verified_arrays(
 
 
 def load_model(
-    path: Union[str, Path], seed: int = 0, verify_checksum: bool = True
+    path: Union[str, Path],
+    seed: int = 0,
+    verify_checksum: bool = True,
+    backend=None,
 ) -> Sequential:
     """Load a model saved by :func:`save_model`; ready for inference.
 
     The returned model still needs :meth:`Sequential.compile` before
-    further training (the optimizer is not checkpointed).
+    further training (the optimizer is not checkpointed).  By default
+    the model runs on the compute backend it was saved with (legacy
+    checkpoints without a backend entry load onto the process default);
+    pass ``backend`` to override explicitly — e.g. ``"optimized"`` to
+    guarantee the serving hot path even for legacy checkpoints.
 
     Raises
     ------
@@ -156,6 +169,12 @@ def load_model(
         / tensors cannot be decoded.  Checkpoints written before
         checksums existed (no :data:`CHECKSUM_KEY` entry) still load.
     """
+    if backend is not None:
+        # Resolve eagerly so a typo'd backend name surfaces as its own
+        # ValueError, not a misleading CheckpointError below.
+        from .backends import get_backend
+
+        backend = get_backend(backend)
     path = Path(path)
     if not path.is_file():
         raise CheckpointError(f"checkpoint {path} does not exist")
@@ -164,7 +183,7 @@ def load_model(
         config = json.loads(
             bytes(arrays[CONFIG_KEY].tobytes()).decode("utf-8")
         )
-        model = model_from_config(config, seed=seed)
+        model = model_from_config(config, seed=seed, backend=backend)
         # Group arrays per layer index.
         params: dict = {}
         states: dict = {}

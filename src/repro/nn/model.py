@@ -170,16 +170,25 @@ class Sequential:
             outputs.append(self.forward(x[start : start + batch_size], training=False))
         return np.concatenate(outputs, axis=0)
 
-    def predict_many(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    def predict_many(
+        self,
+        inputs: Sequence[np.ndarray],
+        pad_rows: Optional[int] = None,
+    ) -> List[np.ndarray]:
         """Batched multi-user forward: one fused pass over many requests.
 
         Each entry of ``inputs`` is one user's batch, shape ``(n_i,
         *features)`` with identical feature shapes.  The backend stacks
         them into a single forward pass and splits the outputs back per
         user — the serving-layer entry point that amortizes kernel and
-        dispatch overhead across concurrent edge requests.
+        dispatch overhead across concurrent edge requests.  ``pad_rows``
+        enables canonical fixed-shape execution (see
+        :meth:`~repro.nn.backends.base.ComputeBackend.forward_many`):
+        every forward runs at exactly that many rows, making each
+        request's logits independent of how requests were coalesced —
+        the serving layer's bit-identity guarantee.
         """
-        return self.backend.forward_many(self, inputs)
+        return self.backend.forward_many(self, inputs, pad_rows=pad_rows)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Argmax class predictions."""

@@ -14,7 +14,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Union
 
-from ..runtime.cache import ContentCache, checkpoint_cache, feature_map_cache
+from ..runtime.cache import (
+    ContentCache,
+    checkpoint_cache,
+    feature_map_cache,
+    serving_model_cache,
+)
 from ..runtime.executor import Executor, SerialExecutor, make_executor
 
 
@@ -43,3 +48,8 @@ def open_feature_map_cache(cache_dir: Union[str, Path]) -> ContentCache:
 def open_checkpoint_cache(cache_dir: Union[str, Path]) -> ContentCache:
     """A handle on the checkpoint namespace of ``cache_dir``."""
     return checkpoint_cache(cache_dir)
+
+
+def open_serving_model_cache(cache_dir: Union[str, Path]) -> ContentCache:
+    """A handle on the serving warm-pool namespace of ``cache_dir``."""
+    return serving_model_cache(cache_dir)

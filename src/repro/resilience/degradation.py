@@ -144,6 +144,26 @@ class HealthStatus:
         }
 
 
+def overload_shed_status(queue_depth: int, limit: int) -> HealthStatus:
+    """The health record for a decision shed to the fallback under load.
+
+    Used by :mod:`repro.serving` admission control: when the pending
+    queue is past the shed threshold (but below the hard-reject limit),
+    the request is answered by the population-average fallback model —
+    the same FALLBACK rung the cold-start path uses when assignment
+    confidence is too low, reached here for a capacity reason instead
+    of a confidence one.  The reason string makes the two
+    distinguishable downstream.
+    """
+    return HealthStatus(
+        state=FALLBACK,
+        used_fallback_model=True,
+        reasons=(
+            f"overload_shed:queue_depth={int(queue_depth)}>={int(limit)}",
+        ),
+    )
+
+
 def safe_probabilities(logits: np.ndarray) -> Tuple[np.ndarray, bool]:
     """Softmax that is guaranteed finite.
 

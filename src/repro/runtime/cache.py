@@ -237,3 +237,14 @@ def feature_map_cache(root: Union[str, Path]) -> ContentCache:
 def checkpoint_cache(root: Union[str, Path]) -> ContentCache:
     """The trained-fold-checkpoint namespace of a cache directory."""
     return ContentCache(root, namespace="checkpoints")
+
+
+def serving_model_cache(root: Union[str, Path]) -> ContentCache:
+    """The serving warm-pool namespace of a cache directory.
+
+    Holds the pickled :class:`~repro.core.trainer.TrainedModel` entries
+    the serving registry evicts from its LRU warm pool and rehydrates
+    on demand; a separate namespace so fleet-serving churn never mixes
+    with (or wipes) the training-pipeline checkpoint entries.
+    """
+    return ContentCache(root, namespace="serving_models")

@@ -1,0 +1,275 @@
+"""Deterministic fleet load generation on the injectable clock.
+
+Synthesizes thousands of users from a small base corpus (each simulated
+user is a seeded perturbation of a real subject's feature maps — cheap,
+shape-correct, and physiologically plausible enough to exercise the
+cold-start assigner), schedules their arrivals, decision streams, and
+fine-tuning events on virtual time, and drives an
+:class:`~repro.serving.service.InferenceService` through the schedule.
+
+Everything is a pure function of ``(scenario, base corpus)``: arrival
+times, user/subject pairings, perturbations, and fine-tune selections
+all come from one seeded generator, and the clock is injected — so two
+runs of the same scenario produce byte-identical event schedules, and
+(with the same service configuration) byte-identical decision streams.
+That is what lets the benchmark pin a golden results fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError
+from ..signals.feature_map import FeatureMap
+from .service import InferenceService, ServingResult
+
+#: Event kinds, in the order they tie-break at equal timestamps.
+CONNECT = "connect"
+SUBMIT = "submit"
+PERSONALIZE = "personalize"
+_KIND_ORDER = {CONNECT: 0, PERSONALIZE: 1, SUBMIT: 2}
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """One deterministic fleet workload.
+
+    Attributes
+    ----------
+    num_users:
+        Simulated users; each arrives once and streams decisions.
+    seed:
+        Master seed for arrivals, pairings, perturbations, selections.
+    arrival_span_s:
+        Users arrive uniformly over this many virtual seconds.
+    decisions_per_user / decision_interval_s:
+        Each user submits this many feature maps, one per interval
+        after arrival.
+    cold_start_maps:
+        Unlabeled maps presented at connect for cluster assignment.
+    fine_tune_fraction / fine_tune_after / fine_tune_maps:
+        This fraction of users personalizes with ``fine_tune_maps``
+        labelled maps after their ``fine_tune_after``-th decision.
+    perturbation:
+        Relative noise scale applied to the base subject's maps when
+        synthesizing a user (0 clones the subject exactly).
+    """
+
+    num_users: int = 1000
+    seed: int = 0
+    arrival_span_s: float = 60.0
+    decisions_per_user: int = 4
+    decision_interval_s: float = 5.0
+    cold_start_maps: int = 2
+    fine_tune_fraction: float = 0.0
+    fine_tune_after: int = 2
+    fine_tune_maps: int = 2
+    perturbation: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        if self.arrival_span_s < 0 or self.decision_interval_s <= 0:
+            raise ValueError("time parameters must be positive")
+        if self.decisions_per_user < 1 or self.cold_start_maps < 1:
+            raise ValueError("decisions_per_user/cold_start_maps must be >= 1")
+        if not 0.0 <= self.fine_tune_fraction <= 1.0:
+            raise ValueError("fine_tune_fraction must be in [0, 1]")
+        if not 0 <= self.fine_tune_after <= self.decisions_per_user:
+            raise ValueError(
+                "fine_tune_after must be within decisions_per_user"
+            )
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One scheduled action: ``(time, user, kind, payload maps)``."""
+
+    time: float
+    user_id: int
+    kind: str
+    maps: Tuple[FeatureMap, ...] = ()
+
+
+def _perturbed(
+    fmap: FeatureMap, rng: np.random.Generator, scale: float, user_id: int
+) -> FeatureMap:
+    """A noisy copy of a base map, stamped with the synthetic user's id."""
+    values = fmap.values
+    if scale > 0:
+        spread = np.std(values) + 1e-9
+        values = values + rng.standard_normal(values.shape) * scale * spread
+    return FeatureMap(values, label=fmap.label, subject_id=user_id)
+
+
+def scenario_events(
+    scenario: LoadScenario,
+    base_maps: Dict[int, Sequence[FeatureMap]],
+) -> List[LoadEvent]:
+    """The fully materialized, deterministic event schedule.
+
+    Pure function of ``(scenario, base corpus)``; the returned list is
+    sorted by ``(time, kind order, user)`` so replaying it is
+    unambiguous even at identical timestamps.
+    """
+    if not base_maps:
+        raise ValueError("need a non-empty base corpus to synthesize users")
+    rng = np.random.default_rng(scenario.seed)
+    subjects = sorted(base_maps)
+    events: List[LoadEvent] = []
+    arrivals = rng.uniform(0.0, scenario.arrival_span_s, scenario.num_users)
+    for user_id in range(scenario.num_users):
+        arrival = float(arrivals[user_id])
+        base = list(base_maps[subjects[int(rng.integers(len(subjects)))]])
+        fine_tunes = rng.random() < scenario.fine_tune_fraction
+        picks = rng.integers(
+            len(base),
+            size=scenario.cold_start_maps
+            + scenario.decisions_per_user
+            + scenario.fine_tune_maps,
+        )
+        cursor = 0
+
+        def take(count: int) -> Tuple[FeatureMap, ...]:
+            nonlocal cursor
+            chosen = picks[cursor : cursor + count]
+            cursor += count
+            return tuple(
+                _perturbed(base[int(i)], rng, scenario.perturbation, user_id)
+                for i in chosen
+            )
+
+        events.append(
+            LoadEvent(
+                time=arrival,
+                user_id=user_id,
+                kind=CONNECT,
+                maps=take(scenario.cold_start_maps),
+            )
+        )
+        decision_maps = take(scenario.decisions_per_user)
+        for k, fmap in enumerate(decision_maps):
+            events.append(
+                LoadEvent(
+                    time=arrival + (k + 1) * scenario.decision_interval_s,
+                    user_id=user_id,
+                    kind=SUBMIT,
+                    maps=(fmap,),
+                )
+            )
+        tune_maps = take(scenario.fine_tune_maps)
+        if fine_tunes and scenario.fine_tune_maps:
+            events.append(
+                LoadEvent(
+                    time=arrival
+                    + (scenario.fine_tune_after + 0.5)
+                    * scenario.decision_interval_s,
+                    user_id=user_id,
+                    kind=PERSONALIZE,
+                    maps=tune_maps,
+                )
+            )
+    events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind], e.user_id))
+    return events
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one driven scenario."""
+
+    results: List[ServingResult] = field(default_factory=list)
+    connects: int = 0
+    submits: int = 0
+    rejections: int = 0
+    personalizations: int = 0
+    virtual_duration_s: float = 0.0
+
+    def fingerprint(self) -> str:
+        from .service import results_fingerprint
+
+        return results_fingerprint(self.results)
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 99.0), wall: bool = False
+    ) -> Dict[str, float]:
+        """p50/p99 (etc.) of per-decision latency, virtual or wall."""
+        if wall:
+            values = [
+                r.wall_latency_s
+                for r in self.results
+                if r.wall_latency_s is not None
+            ]
+        else:
+            values = [r.latency_s for r in self.results]
+        if not values:
+            return {f"p{p:g}": 0.0 for p in percentiles}
+        return {
+            f"p{p:g}": float(np.percentile(values, p)) for p in percentiles
+        }
+
+    def shed_count(self) -> int:
+        return sum(1 for r in self.results if r.health.used_fallback_model)
+
+    def summary(self) -> Dict:
+        return {
+            "decisions": len(self.results),
+            "connects": self.connects,
+            "submits": self.submits,
+            "rejections": self.rejections,
+            "personalizations": self.personalizations,
+            "shed": self.shed_count(),
+            "virtual_duration_s": self.virtual_duration_s,
+            "latency_virtual": self.latency_percentiles(),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def run_load(
+    service: InferenceService,
+    scenario: LoadScenario,
+    base_maps: Dict[int, Sequence[FeatureMap]],
+    events: Optional[List[LoadEvent]] = None,
+) -> LoadReport:
+    """Drive a service through a scenario's event schedule.
+
+    The service's (injected) clock is advanced to each event's
+    timestamp, the event dispatched, and the batcher pumped — an
+    open-loop generator: hard-rejected submits are counted, not
+    retried.  Returns the report with every released result.
+    """
+    if events is None:
+        events = scenario_events(scenario, base_maps)
+    report = LoadReport()
+    clock = service.clock
+    advance = getattr(clock, "advance", None)  # FakeClock virtual time
+    start = clock.now()
+    already_released = len(service.results)
+    for event in events:
+        gap = (start + event.time) - clock.now()
+        if gap > 0 and advance is not None:
+            advance(gap)
+        if event.kind == CONNECT:
+            service.connect(event.user_id, list(event.maps))
+            report.connects += 1
+        elif event.kind == SUBMIT:
+            report.submits += 1
+            try:
+                service.submit(event.user_id, event.maps[0])
+            except AdmissionError:
+                report.rejections += 1
+        elif event.kind == PERSONALIZE:
+            service.personalize(event.user_id, list(event.maps))
+            report.personalizations += 1
+        else:  # pragma: no cover - schedule construction controls kinds
+            raise ValueError(f"unknown event kind {event.kind!r}")
+        service.pump()
+    service.drain()
+    # The service's own log is the source of truth: personalize()
+    # quiesces the batcher internally, and those drained results never
+    # pass through pump()'s return value.
+    report.results = list(service.results[already_released:])
+    report.virtual_duration_s = clock.now() - start
+    return report

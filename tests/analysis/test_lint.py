@@ -85,17 +85,29 @@ class TestRuleFixtures:
             "def bptt(x2d, w):\n"
             "    return x2d @ w\n",  # batched GEMM, no loop
         ),
+        "RPR020": (
+            "def answer(model, x):\n"
+            "    return model.predict(x)\n",
+            "def answer(batcher, request):\n"
+            "    return batcher.submit(request)\n",
+        ),
     }
+
+    # Rules whose scope excludes the default repro/nn path lint their
+    # fixtures at a path inside their own scope.
+    FIXTURE_PATHS = {"RPR020": "src/repro/serving/service.py"}
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
     def test_bad_snippet_fires(self, code):
         bad, _ = self.FIXTURES[code]
-        assert code in codes_of(bad)
+        path = self.FIXTURE_PATHS.get(code, "src/repro/nn/snippet.py")
+        assert code in codes_of(bad, path=path)
 
     @pytest.mark.parametrize("code", sorted(FIXTURES))
     def test_good_snippet_clean(self, code):
         _, good = self.FIXTURES[code]
-        assert code not in codes_of(good)
+        path = self.FIXTURE_PATHS.get(code, "src/repro/nn/snippet.py")
+        assert code not in codes_of(good, path=path)
 
     def test_every_registered_rule_has_a_fixture(self):
         assert set(self.FIXTURES) == set(RULES)
@@ -259,6 +271,41 @@ class TestSilentSwallow:
         # contain a statement — but pass+... mixtures stay flagged.
         assert "RPR018" in codes_of(
             "try:\n    work()\nexcept Exception:\n    pass\n    ...\n"
+        )
+
+
+class TestServingBatchBypass:
+    """RPR020: the micro-batcher owns inference inside repro/serving."""
+
+    SERVING_PATH = "src/repro/serving/registry.py"
+
+    def test_predict_many_allowed_in_batching_module(self):
+        src = "def flush(model, xs):\n    return model.predict_many(xs)\n"
+        findings = lint_source(src, path="src/repro/serving/batching.py")
+        assert "RPR020" not in [f.code for f in findings]
+
+    def test_forward_many_flagged_outside_batching(self):
+        assert "RPR020" in codes_of(
+            "out = backend.forward_many(model, xs)\n", path=self.SERVING_PATH
+        )
+
+    def test_predict_classes_flagged(self):
+        assert "RPR020" in codes_of(
+            "y = model.predict_classes(x)\n", path=self.SERVING_PATH
+        )
+
+    def test_out_of_scope_path_not_flagged(self):
+        findings = lint_source(
+            "y = model.predict(x)\n", path="src/repro/edge/streaming.py"
+        )
+        assert "RPR020" not in [f.code for f in findings]
+
+    def test_predict_many_allowed_everywhere_in_serving(self):
+        # predict_many IS the batched entry point — only the raw
+        # per-request spellings are banned.
+        assert "RPR020" not in codes_of(
+            "out = model.predict_many(xs, pad_rows=32)\n",
+            path=self.SERVING_PATH,
         )
 
 

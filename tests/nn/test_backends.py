@@ -482,6 +482,40 @@ class TestForwardMany:
         with pytest.raises(ValueError, match="identical feature shapes"):
             model.predict_many([np.zeros((2, 3)), np.zeros((2, 4))])
 
+    def test_shape_error_names_offending_request(self):
+        model = self._model()
+        with pytest.raises(ValueError, match=r"request 2 has \(5,\)"):
+            model.predict_many(
+                [np.zeros((2, 3)), np.zeros((1, 3)), np.zeros((2, 5))]
+            )
+
+    def test_pad_rows_validated(self):
+        model = self._model()
+        model.forward(np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="pad_rows"):
+            model.predict_many([np.zeros((2, 3))], pad_rows=0)
+
+    def test_pad_rows_makes_results_coalescing_invariant(self):
+        # The serving guarantee at the backend layer: with canonical
+        # fixed-shape slabs, a request's logits are bitwise independent
+        # of which other requests shared its fused batch.
+        model = self._model()
+        rng = np.random.default_rng(11)
+        users = [rng.normal(size=(n, 3)) for n in (2, 1, 3, 1)]
+        model.forward(np.zeros((1, 3)))  # build once
+        fused = model.predict_many(users, pad_rows=4)
+        for user_x, fused_out in zip(users, fused):
+            (alone,) = model.predict_many([user_x], pad_rows=4)
+            np.testing.assert_array_equal(fused_out, alone)
+
+    def test_pad_rows_preserves_per_user_split(self):
+        model = self._model()
+        rng = np.random.default_rng(12)
+        users = [rng.normal(size=(n, 3)) for n in (1, 6, 2)]
+        model.forward(np.zeros((1, 3)))
+        fused = model.predict_many(users, pad_rows=4)
+        assert [f.shape for f in fused] == [(1, 2), (6, 2), (2, 2)]
+
 
 class TestCheckpointBackendRoundTrip:
     def _build(self, backend):

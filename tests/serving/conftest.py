@@ -1,0 +1,33 @@
+"""Serving fixtures: one quick fitted system shared across the package."""
+
+import pytest
+
+from repro.core import (
+    CLEAR,
+    CLEARConfig,
+    FineTuneConfig,
+    ModelConfig,
+    TrainingConfig,
+)
+
+QUICK_CFG = CLEARConfig(
+    num_clusters=4,
+    subclusters_per_cluster=2,
+    gc_refinements=3,
+    model=ModelConfig(conv_filters=(4, 8), lstm_units=8, dropout=0.0),
+    training=TrainingConfig(epochs=6, batch_size=8, early_stopping_patience=3),
+    fine_tuning=FineTuneConfig(epochs=2),
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def serving_system(tiny_maps_by_subject):
+    return CLEAR(QUICK_CFG).fit(tiny_maps_by_subject)
+
+
+@pytest.fixture()
+def some_maps(tiny_maps_by_subject):
+    """A handful of feature maps from the first subject."""
+    first = sorted(tiny_maps_by_subject)[0]
+    return list(tiny_maps_by_subject[first])

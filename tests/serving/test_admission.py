@@ -1,0 +1,62 @@
+"""Admission control: thresholds, counters, typed rejections."""
+
+import pytest
+
+from repro.errors import AdmissionError, ServingError
+from repro.serving import (
+    ACCEPT,
+    REJECT,
+    SHED,
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+class TestPolicy:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"max_pending": 0}, "max_pending"),
+            ({"max_pending": 10, "hard_limit": 5}, "hard_limit"),
+            ({"max_sessions": 0}, "max_sessions"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AdmissionPolicy(**kwargs)
+
+
+class TestController:
+    def test_three_outcomes_by_depth(self):
+        ctrl = AdmissionController(AdmissionPolicy(max_pending=2, hard_limit=4))
+        assert ctrl.admit(0) == ACCEPT
+        assert ctrl.admit(1) == ACCEPT
+        assert ctrl.admit(2) == SHED
+        assert ctrl.admit(3) == SHED
+        assert ctrl.admit(4) == REJECT
+        assert (ctrl.accepted, ctrl.shed, ctrl.rejected) == (2, 2, 1)
+
+    def test_rates(self):
+        ctrl = AdmissionController(AdmissionPolicy(max_pending=1, hard_limit=2))
+        assert ctrl.shed_rate == 0.0  # no traffic yet
+        ctrl.admit(0)
+        ctrl.admit(1)
+        ctrl.admit(2)
+        ctrl.admit(2)
+        assert ctrl.shed_rate == pytest.approx(0.25)
+        assert ctrl.reject_rate == pytest.approx(0.5)
+        report = ctrl.to_dict()
+        assert report["accepted"] == 1 and report["rejected"] == 2
+
+    def test_session_limit_typed_with_fields(self):
+        ctrl = AdmissionController(AdmissionPolicy(max_sessions=3))
+        ctrl.admit_session(2)  # below limit: fine
+        with pytest.raises(AdmissionError) as exc_info:
+            ctrl.admit_session(3)
+        assert exc_info.value.queue_depth == 3
+        assert exc_info.value.limit == 3
+        # AdmissionError sits in the typed serving hierarchy.
+        assert isinstance(exc_info.value, ServingError)
+
+    def test_unlimited_sessions_by_default(self):
+        AdmissionController().admit_session(10**6)

@@ -1,0 +1,160 @@
+"""Micro-batcher: shape bucketing, flush policy, canonical-slab identity."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.retry import FakeClock
+from repro.serving import BatchPolicy, MicroBatcher, PendingRequest
+from repro.signals.feature_map import FeatureMap
+
+
+def _request(user_id, index, shape=(6, 4), clock_time=0.0, seed=0):
+    rng = np.random.default_rng(seed + user_id * 100 + index)
+    fmap = FeatureMap(
+        rng.standard_normal(shape), label=0, subject_id=user_id
+    )
+    return PendingRequest(
+        user_id=user_id,
+        request_index=index,
+        fmap=fmap,
+        enqueued_at=clock_time,
+    )
+
+
+class TestBatchPolicy:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"max_batch": 0}, "max_batch"),
+            ({"max_wait_s": -1.0}, "max_wait_s"),
+            ({"canonical_rows": 0}, "canonical_rows"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BatchPolicy(**kwargs)
+
+
+class TestBucketing:
+    def test_same_group_same_shape_coalesce(self):
+        batcher = MicroBatcher(BatchPolicy(), FakeClock())
+        k1 = batcher.submit(("cluster", 0), _request(1, 0))
+        k2 = batcher.submit(("cluster", 0), _request(2, 0))
+        assert k1 == k2
+        assert batcher.depth() == 2
+        assert len(batcher.keys()) == 1
+
+    def test_different_shapes_bucket_separately(self):
+        # The shape-bucketing half of the forward_many contract: a
+        # mixed-shape bucket would die inside forward_many, so shapes
+        # never meet in the first place.
+        batcher = MicroBatcher(BatchPolicy(), FakeClock())
+        k1 = batcher.submit(("cluster", 0), _request(1, 0, shape=(6, 4)))
+        k2 = batcher.submit(("cluster", 0), _request(2, 0, shape=(6, 8)))
+        assert k1 != k2
+        assert len(batcher.keys()) == 2
+
+    def test_different_groups_bucket_separately(self):
+        batcher = MicroBatcher(BatchPolicy(), FakeClock())
+        k1 = batcher.submit(("cluster", 0), _request(1, 0))
+        k2 = batcher.submit(("user", 1), _request(1, 1))
+        assert k1 != k2
+
+
+class TestFlushPolicy:
+    def test_not_due_before_wait_or_full(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(BatchPolicy(max_batch=4, max_wait_s=0.1), clock)
+        batcher.submit(("cluster", 0), _request(1, 0, clock_time=clock.now()))
+        assert batcher.due_keys() == []
+
+    def test_due_after_max_wait(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(BatchPolicy(max_batch=4, max_wait_s=0.1), clock)
+        key = batcher.submit(
+            ("cluster", 0), _request(1, 0, clock_time=clock.now())
+        )
+        clock.advance(0.2)
+        assert batcher.due_keys() == [key]
+
+    def test_due_when_full(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(BatchPolicy(max_batch=2, max_wait_s=10.0), clock)
+        key = None
+        for i in range(2):
+            key = batcher.submit(
+                ("cluster", 0), _request(i, 0, clock_time=clock.now())
+            )
+        assert batcher.due_keys() == [key]
+
+    def test_pop_batch_fifo_with_remainder(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(BatchPolicy(max_batch=2), clock)
+        key = None
+        for i in range(5):
+            key = batcher.submit(("cluster", 0), _request(1, i))
+        first = batcher.pop_batch(key)
+        assert [r.request_index for r in first] == [0, 1]
+        assert batcher.depth() == 3
+        assert [r.request_index for r in batcher.pop_batch(key)] == [2, 3]
+        assert [r.request_index for r in batcher.pop_batch(key)] == [4]
+        assert batcher.pop_batch(key) == []
+        assert batcher.keys() == []
+
+    def test_oldest_wait_tracks_head_of_line(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(BatchPolicy(max_wait_s=10.0), clock)
+        assert batcher.oldest_wait() == 0.0
+        batcher.submit(("cluster", 0), _request(1, 0, clock_time=clock.now()))
+        clock.advance(0.5)
+        assert batcher.oldest_wait() == pytest.approx(0.5)
+
+
+class TestCanonicalFlush:
+    def test_flush_logits_match_singleton_flushes_bitwise(
+        self, serving_system, some_maps
+    ):
+        """The core guarantee: coalescing does not change a single bit."""
+        model = serving_system.cluster_models[0]
+        policy = BatchPolicy(max_batch=8, canonical_rows=4)
+        maps = [some_maps[i % len(some_maps)] for i in range(5)]
+
+        batched = MicroBatcher(policy, FakeClock())
+        key = None
+        for i, fmap in enumerate(maps):
+            req = PendingRequest(
+                user_id=i, request_index=0, fmap=fmap, enqueued_at=0.0
+            )
+            key = batched.submit(("cluster", 0), req)
+        coalesced = batched.flush(key, model)
+        assert coalesced.batch_size == 5
+
+        single = MicroBatcher(
+            BatchPolicy(max_batch=1, canonical_rows=4), FakeClock()
+        )
+        singles = {}
+        for i, fmap in enumerate(maps):
+            req = PendingRequest(
+                user_id=i, request_index=0, fmap=fmap, enqueued_at=0.0
+            )
+            k = single.submit(("cluster", 0), req)
+            (req_out, logits), = single.flush(k, model).completed
+            singles[req_out.user_id] = logits
+
+        for request, logits in coalesced.completed:
+            np.testing.assert_array_equal(logits, singles[request.user_id])
+
+    def test_flush_counts(self, serving_system, some_maps):
+        model = serving_system.cluster_models[0]
+        batcher = MicroBatcher(BatchPolicy(canonical_rows=4), FakeClock())
+        key = batcher.submit(
+            ("cluster", 0),
+            PendingRequest(
+                user_id=0, request_index=0, fmap=some_maps[0], enqueued_at=0.0
+            ),
+        )
+        result = batcher.flush(key, model)
+        assert result.batch_size == 1
+        assert batcher.batches_flushed == 1
+        assert batcher.rows_flushed == 1
+        assert batcher.flush(key, model).batch_size == 0  # empty is fine

@@ -40,6 +40,7 @@ def test_all_rules_enabled_by_default():
         "RPR009",
         "RPR018",
         "RPR019",
+        "RPR020",
     }
 
 
