@@ -1,0 +1,212 @@
+"""Scenario scaling bench: streamed populations at 100k subjects.
+
+The headline claim of the streaming population interface: a
+100k-subject scenario runs generate → extract → cluster → score end to
+end with peak memory bounded by the chunk size, never by the
+population.  This bench asserts that bound (tracemalloc peak against a
+chunk-proportional budget, far below the materialized-population
+estimate) and records the cross-scenario accuracy matrix — every
+registered scenario clustered in exact and minibatch modes — plus
+streamed-vs-materialized bit-identity at bench scale, into
+``BENCH_scenarios.json`` at the repo root.
+
+``pytest benchmarks/test_scenario_scaling.py -m smoke`` runs only the
+tier-1-safe tiny variant (3 scenarios x tiny scale, seconds, suitable
+for CI).  The full ``-m scenario`` run takes a few minutes; set
+``REPRO_SCENARIO_SUBJECTS`` to change the scale-test population
+(default 100000).
+"""
+
+import json
+import os
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.clustering.streaming import fit_signature_matrix
+from repro.scenarios import (
+    available_scenarios,
+    circumplex_scenario,
+    get_scenario,
+    run_scenario_stream,
+    scenario_fingerprint,
+)
+from repro.signals.feature_map import signature_matrix
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+SCALE_SUBJECTS = int(os.environ.get("REPRO_SCENARIO_SUBJECTS", "100000"))
+SCALE_CHUNK = 512
+#: Bytes of map payload one subject carries in the scale scenario
+#: (maps x windows x features x float64).
+_SCALE_MAPS = 2
+_SCALE_WINDOWS = 2
+_SUBJECT_BYTES = _SCALE_MAPS * _SCALE_WINDOWS * 123 * 8
+
+
+def _merge_report(section, payload):
+    report = {}
+    if REPORT_PATH.exists():
+        report = json.loads(REPORT_PATH.read_text())
+    report[section] = payload
+    report["note"] = (
+        "wall times and RSS are environment-dependent; the asserted "
+        "invariants are streamed==materialized bit-identity and the "
+        "chunk-proportional tracemalloc peak of the 100k streaming run"
+    )
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _scale_scenario(num_subjects):
+    return circumplex_scenario(
+        num_subjects=num_subjects,
+        seed=0,
+        maps_per_subject=_SCALE_MAPS,
+        windows_per_map=_SCALE_WINDOWS,
+        chunk_size=SCALE_CHUNK,
+    )
+
+
+# -- smoke tier (CI): 3 scenarios x tiny scale ---------------------------
+
+
+@pytest.mark.smoke
+@pytest.mark.scenario
+@pytest.mark.parametrize("name", sorted(available_scenarios()))
+def test_smoke_streamed_equals_materialized(name):
+    scenario = get_scenario(name, scale="tiny", seed=0)
+    streamed = scenario_fingerprint(scenario.iter_subjects(chunk_size=3))
+    materialized = scenario_fingerprint(scenario.materialize().subjects)
+    assert streamed == materialized
+
+
+@pytest.mark.smoke
+@pytest.mark.scenario
+def test_smoke_matrix_and_bit_identity():
+    matrix = {}
+    for name in sorted(available_scenarios()):
+        scenario = get_scenario(name, scale="tiny", seed=0)
+        report = run_scenario_stream(scenario, n_init=4, sample_size=32)
+        # The streamed exact fit must be bitwise the materialized fit.
+        full = signature_matrix(scenario.materialize().subjects)
+        batch = fit_signature_matrix(
+            full, scenario.num_archetypes, n_init=4, seed=scenario.seed
+        )
+        assert np.array_equal(report.model.centers, batch.centers)
+        record = report.score.to_dict()
+        record["streamed_equals_materialized"] = True
+        matrix[name] = record
+    assert set(matrix) == set(available_scenarios())
+    _merge_report("smoke_matrix", matrix)
+
+
+# -- full tier: bench-scale matrix + the 100k memory bound ----------------
+
+
+@pytest.mark.scenario
+def test_cross_scenario_accuracy_matrix():
+    matrix = {}
+    for name in sorted(available_scenarios()):
+        scenario = get_scenario(name, scale="bench", seed=0)
+        population = scenario.materialize()
+        streamed = scenario_fingerprint(scenario.iter_subjects(chunk_size=17))
+        identical = streamed == scenario_fingerprint(population.subjects)
+        assert identical, f"{name}: streamed != materialized at bench scale"
+        cells = {}
+        # WEMAC simulates physiology (~0.5 s/subject), so it gets the
+        # exact cell only; the feature-space scenarios are cheap enough
+        # to run both modes.
+        modes = ("exact",) if name == "wemac" else ("exact", "minibatch")
+        for mode in modes:
+            t0 = time.perf_counter()
+            report = run_scenario_stream(scenario, mode=mode, n_init=8)
+            record = report.score.to_dict()
+            record["wall_s"] = round(time.perf_counter() - t0, 3)
+            assert 0.0 <= record["archetype_purity"] <= 1.0
+            assert record["cluster_sizes"] and sum(
+                record["cluster_sizes"]
+            ) == scenario.num_subjects
+            cells[mode] = record
+        matrix[name] = {
+            "num_subjects": scenario.num_subjects,
+            "streamed_equals_materialized": identical,
+            "modes": cells,
+        }
+    _merge_report("cross_scenario_matrix", matrix)
+
+
+@pytest.mark.scenario
+def test_minibatch_chunk_size_tradeoff():
+    scenario = get_scenario("circumplex", scale="bench", seed=0)
+    rows = {}
+    for chunk in (64, 256):
+        first = run_scenario_stream(
+            scenario, mode="minibatch", chunk_size=chunk
+        )
+        second = run_scenario_stream(
+            scenario, mode="minibatch", chunk_size=chunk
+        )
+        # Minibatch centers depend on chunking but never on the run.
+        np.testing.assert_array_equal(
+            first.model.centers, second.model.centers
+        )
+        rows[str(chunk)] = {
+            "inertia": round(first.score.inertia, 6),
+            "archetype_purity": first.score.archetype_purity,
+            "n_updates": int(first.model.n_updates),
+        }
+    _merge_report("minibatch_chunk_tradeoff", rows)
+
+
+@pytest.mark.scenario
+def test_scale_streaming_peak_memory_bounded_by_chunk():
+    """The headline: 100k subjects end to end, peak RAM ~ chunk size."""
+    scenario = _scale_scenario(SCALE_SUBJECTS)
+    materialized_estimate = SCALE_SUBJECTS * _SUBJECT_BYTES
+    # Generous chunk-proportional budget: the live chunk (maps + the
+    # per-chunk signature matrix + executor scratch) plus a fixed
+    # interpreter/numpy overhead.  What matters is that it does NOT
+    # scale with SCALE_SUBJECTS.
+    chunk_budget = 48 * 1024 * 1024 + 64 * SCALE_CHUNK * _SUBJECT_BYTES
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    report = run_scenario_stream(
+        scenario, mode="minibatch", chunk_size=SCALE_CHUNK, sample_size=256
+    )
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert report.score.num_subjects == SCALE_SUBJECTS
+    assert report.score.contingency.sum() == SCALE_SUBJECTS
+    assert np.isfinite(report.model.centers).all()
+    assert peak < chunk_budget, (
+        f"streaming peak {peak / 1e6:.1f} MB exceeds the "
+        f"chunk-proportional budget {chunk_budget / 1e6:.1f} MB"
+    )
+    if SCALE_SUBJECTS >= 20_000:
+        assert peak < materialized_estimate / 4, (
+            f"peak {peak / 1e6:.1f} MB is not clearly below the "
+            f"materialized estimate {materialized_estimate / 1e6:.1f} MB"
+        )
+    _merge_report(
+        "scale_streaming",
+        {
+            "num_subjects": SCALE_SUBJECTS,
+            "chunk_size": SCALE_CHUNK,
+            "mode": "minibatch",
+            "wall_s": round(wall, 3),
+            "tracemalloc_peak_mb": round(peak / 1e6, 3),
+            "chunk_budget_mb": round(chunk_budget / 1e6, 3),
+            "materialized_estimate_mb": round(materialized_estimate / 1e6, 3),
+            "ru_maxrss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 3
+            ),
+            "archetype_purity": report.score.archetype_purity,
+            "nmi": round(report.score.nmi, 6),
+        },
+    )

@@ -26,6 +26,13 @@ Subpackages
 ``repro.orchestration``
     Typed Stage/Artifact pipeline graphs with provenance capture; the
     single injection point for executors and caches.
+``repro.scenarios``
+    Streamed populations: lazy chunked subject generation (bit-identical
+    to materialized), population dynamics, device fleets, streaming
+    k-means over scenario signature streams.
+``repro.serving``
+    Fleet-scale micro-batched online inference with a deterministic
+    load generator (imported lazily; see :mod:`repro.serving`).
 """
 
 __version__ = "1.0.0"
@@ -42,6 +49,7 @@ from . import (
     orchestration,
     resilience,
     runtime,
+    scenarios,
     signals,
     viz,
 )
@@ -59,6 +67,7 @@ __all__ = [
     "orchestration",
     "resilience",
     "runtime",
+    "scenarios",
     "viz",
     "__version__",
 ]

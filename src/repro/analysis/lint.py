@@ -73,6 +73,16 @@ RPR020
     ``model.predict()`` elsewhere in the serving layer bypasses both the
     coalescing (the perf contract) and the canonical execution shape
     (the determinism contract).
+RPR021
+    Whole-population materialization of a streamed scenario
+    (``list(...iter_subjects())`` / ``tuple`` / ``sorted`` / ``set``
+    wrapping, or a comprehension draining ``iter_subjects()`` /
+    ``iter_chunks()``) outside ``repro/scenarios``.  The streaming
+    population contract is what bounds peak memory by chunk size at
+    100k subjects; consumers iterate the stream or go through the
+    sanctioned adapters (``population_records`` / ``base_corpus`` /
+    ``Scenario.materialize``), which live inside the scenarios package
+    — the one place whole-population views are allowed.
 """
 
 from __future__ import annotations
@@ -658,6 +668,80 @@ class ServingBatchBypassRule(LintRule):
                     f"canonical slab execution; submit the request to the "
                     f"MicroBatcher instead",
                 )
+
+
+@register
+class PopulationMaterializationRule(LintRule):
+    """RPR021: whole-population materialization outside repro/scenarios.
+
+    ``iter_subjects()`` / ``iter_chunks()`` are the streaming population
+    contract: consumers see one bounded chunk at a time, which is what
+    keeps a 100k-subject run's peak memory proportional to the chunk
+    size.  Wrapping the stream in ``list()`` (or ``tuple`` / ``sorted``
+    / ``set``, or draining it through a comprehension) silently
+    re-materializes the whole population — legal only inside
+    ``repro/scenarios``, where the sanctioned adapters
+    (``population_records`` / ``base_corpus`` / ``materialize``) do it
+    deliberately at validation scale."""
+
+    code = "RPR021"
+
+    _STREAM_METHODS = frozenset({"iter_subjects", "iter_chunks"})
+    _MATERIALIZERS = frozenset({"list", "tuple", "sorted", "set"})
+
+    @staticmethod
+    def _exempt(path: str) -> bool:
+        parts = Path(path).parts
+        return any(
+            part == "repro" and parts[i + 1] == "scenarios"
+            for i, part in enumerate(parts[:-1])
+        )
+
+    @classmethod
+    def _stream_call(cls, node: ast.AST) -> Optional[str]:
+        """If ``node`` calls ``iter_subjects``/``iter_chunks``, its name."""
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            return None
+        return name if name in cls._STREAM_METHODS else None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if self._exempt(path):
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._MATERIALIZERS
+                and node.args
+            ):
+                name = self._stream_call(node.args[0])
+                if name is not None:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"{node.func.id}({name}()) materializes the whole "
+                        f"streamed population outside repro/scenarios; "
+                        f"iterate the stream in bounded chunks or use "
+                        f"repro.scenarios.population_records/base_corpus",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                for gen in node.generators:
+                    name = self._stream_call(gen.iter)
+                    if name is not None:
+                        yield self.finding(
+                            path,
+                            node,
+                            f"comprehension drains {name}() into memory "
+                            f"outside repro/scenarios; iterate the stream "
+                            f"in bounded chunks or use "
+                            f"repro.scenarios.population_records/base_corpus",
+                        )
 
 
 # -- engine --------------------------------------------------------------

@@ -29,6 +29,11 @@ from .metrics import (
 )
 from .scaling import StandardScaler
 from .selection import KSelectionReport, elbow_k, select_k
+from .streaming import (
+    StreamingKMeans,
+    StreamingKMeansResult,
+    fit_signature_matrix,
+)
 from .subclusters import SubClusterModel, build_subclusters
 
 __all__ = [
@@ -48,6 +53,9 @@ __all__ = [
     "inertia",
     "cluster_sizes",
     "StandardScaler",
+    "StreamingKMeans",
+    "StreamingKMeansResult",
+    "fit_signature_matrix",
     "select_k",
     "elbow_k",
     "KSelectionReport",

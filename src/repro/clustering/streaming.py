@@ -1,0 +1,254 @@
+"""Streaming k-means over bounded signature chunks.
+
+Two modes, one interface:
+
+* ``mode="exact"`` accumulates the (N, F) *signature* matrix chunk by
+  chunk — the reduced per-subject representation, thousands of times
+  smaller than the subjects themselves — and delegates to the batch
+  :class:`~repro.clustering.kmeans.KMeans`.  Because row-order
+  concatenation of chunks is bytewise identical to stacking the
+  materialized population, the result is **bit-identical to the batch
+  path** at any chunk size.  Memory is O(N·F) for the signatures only;
+  the maps never co-exist.
+* ``mode="minibatch"`` is a single-pass Sculley-style online fit:
+  k-means++ on a fixed-size init prefix, then deterministic
+  count-weighted center updates per chunk.  Memory is O(chunk + k·F)
+  — the true bounded-memory path for 100k-subject populations — at the
+  cost of chunk-size-dependent (still fully deterministic) centers.
+
+Both modes standardize features with statistics that are a pure
+function of the stream prefix they fit on, and both return a
+:class:`StreamingKMeansResult` whose ``assign`` maps raw signatures to
+cluster labels for the scoring pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..runtime.executor import Executor
+from .kmeans import KMeans, KMeansResult, assign_to_centers, kmeans_plus_plus_init
+from .scaling import StandardScaler
+
+MODES = ("exact", "minibatch")
+
+
+@dataclass
+class StreamingKMeansResult:
+    """Fitted centers plus the scaling needed to assign new signatures."""
+
+    centers: np.ndarray  # (k, F), in standardized space
+    mean: np.ndarray  # (F,) standardization mean
+    std: np.ndarray  # (F,) standardization std
+    n_samples: int
+    n_updates: int
+    mode: str
+    eps: float = 1e-8
+    #: The underlying batch result (exact mode only).
+    batch: Optional[KMeansResult] = None
+
+    def scale(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean) / (self.std + self.eps)
+
+    def assign(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-center labels for raw (unscaled) signature rows."""
+        return assign_to_centers(self.scale(np.atleast_2d(x)), self.centers)
+
+    def chunk_inertia(self, x: np.ndarray) -> float:
+        """Sum of squared scaled distances of a raw chunk to its centers."""
+        scaled = self.scale(np.atleast_2d(x))
+        labels = assign_to_centers(scaled, self.centers)
+        delta = scaled - self.centers[labels]
+        return float(np.sum(delta * delta))
+
+
+class StreamingKMeans:
+    """Cluster a signature stream without materializing the population.
+
+    Parameters mirror :class:`~repro.clustering.kmeans.KMeans`;
+    ``init_size`` (minibatch only) is how many leading rows seed the
+    k-means++ initialization and the standardization statistics.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        mode: str = "exact",
+        n_init: int = 8,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: Optional[int] = 0,
+        init_size: Optional[int] = None,
+        standardize: bool = True,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.mode = mode
+        self.n_init = int(n_init)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self.init_size = (
+            int(init_size) if init_size is not None else max(64, 8 * self.k)
+        )
+        if self.init_size < self.k:
+            raise ValueError("init_size must be >= k")
+        self.standardize = bool(standardize)
+
+    # -- shared ------------------------------------------------------------
+    def _stats(self, init: np.ndarray) -> StreamingKMeansResult:
+        if self.standardize:
+            scaler = StandardScaler()
+            scaler.fit(init)
+            mean, std, eps = scaler.mean_, scaler.std_, scaler.eps
+        else:
+            mean = np.zeros(init.shape[1])
+            std = np.ones(init.shape[1])
+            eps = 0.0  # identity scaling, exactly
+        return StreamingKMeansResult(
+            centers=np.empty((0, init.shape[1])),
+            mean=mean,
+            std=std,
+            n_samples=0,
+            n_updates=0,
+            mode=self.mode,
+            eps=eps,
+        )
+
+    def fit_chunks(
+        self,
+        chunks: Iterable[np.ndarray],
+        executor: Optional[Executor] = None,
+    ) -> StreamingKMeansResult:
+        """Fit the stream; dispatches on the configured mode."""
+        if self.mode == "exact":
+            return self._fit_exact(chunks, executor)
+        return self._fit_minibatch(chunks)
+
+    @staticmethod
+    def _as_rows(chunk: np.ndarray) -> np.ndarray:
+        rows = np.asarray(chunk, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError(f"expected (n, F) chunk, got shape {rows.shape}")
+        return rows
+
+    # -- exact mode --------------------------------------------------------
+    def _fit_exact(
+        self, chunks: Iterable[np.ndarray], executor: Optional[Executor]
+    ) -> StreamingKMeansResult:
+        collected: List[np.ndarray] = []
+        for chunk in chunks:
+            collected.append(self._as_rows(chunk))
+        if not collected:
+            raise ValueError("cannot fit on an empty stream")
+        matrix = np.concatenate(collected, axis=0)
+        result = self._stats(matrix)
+        scaled = result.scale(matrix)
+        batch = KMeans(
+            self.k,
+            n_init=self.n_init,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            seed=self.seed,
+        ).fit(scaled, executor=executor)
+        result.centers = batch.centers
+        result.n_samples = matrix.shape[0]
+        result.n_updates = 1
+        result.batch = batch
+        return result
+
+    # -- minibatch mode ----------------------------------------------------
+    def _fit_minibatch(
+        self, chunks: Iterable[np.ndarray]
+    ) -> StreamingKMeansResult:
+        stream = iter(chunks)
+        buffered: List[np.ndarray] = []
+        buffered_rows = 0
+        for chunk in stream:
+            rows = self._as_rows(chunk)
+            buffered.append(rows)
+            buffered_rows += rows.shape[0]
+            if buffered_rows >= self.init_size:
+                break
+        if buffered_rows == 0:
+            raise ValueError("cannot fit on an empty stream")
+        if buffered_rows < self.k:
+            raise ValueError(
+                f"stream has {buffered_rows} rows; need >= k={self.k}"
+            )
+        prefix = np.concatenate(buffered, axis=0)
+        init = prefix[: self.init_size]
+        result = self._stats(init)
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+        centers = kmeans_plus_plus_init(result.scale(init), self.k, rng)
+        counts = np.zeros(self.k, dtype=np.int64)
+        # The buffered prefix is the first update; the rest of the
+        # stream flows through one update per chunk.
+        centers, counts, updates, seen = self._update(
+            result, centers, counts, prefix
+        )
+        n_updates = updates
+        n_samples = seen
+        for chunk in stream:
+            centers, counts, updates, seen = self._update(
+                result, centers, counts, self._as_rows(chunk)
+            )
+            n_updates += updates
+            n_samples += seen
+        result.centers = centers
+        result.n_samples = n_samples
+        result.n_updates = n_updates
+        return result
+
+    @staticmethod
+    def _update(
+        result: StreamingKMeansResult,
+        centers: np.ndarray,
+        counts: np.ndarray,
+        rows: np.ndarray,
+    ):
+        """One count-weighted Sculley update; deterministic, RNG-free."""
+        scaled = result.scale(rows)
+        labels = assign_to_centers(scaled, centers)
+        centers = centers.copy()
+        for j in np.unique(labels):
+            members = scaled[labels == j]
+            counts[j] += members.shape[0]
+            step = members.shape[0] / counts[j]
+            centers[j] += step * (members.mean(axis=0) - centers[j])
+        return centers, counts, 1, rows.shape[0]
+
+
+def fit_signature_matrix(
+    matrix: np.ndarray,
+    k: int,
+    n_init: int = 8,
+    max_iter: int = 300,
+    tol: float = 1e-6,
+    seed: Optional[int] = 0,
+    standardize: bool = True,
+    executor: Optional[Executor] = None,
+) -> StreamingKMeansResult:
+    """The materialized batch path, as a one-chunk stream.
+
+    This is the reference the exact streaming mode is bit-identical
+    to: scale the whole (N, F) signature matrix, run batch k-means.
+    """
+    return StreamingKMeans(
+        k,
+        mode="exact",
+        n_init=n_init,
+        max_iter=max_iter,
+        tol=tol,
+        seed=seed,
+        standardize=standardize,
+    ).fit_chunks([matrix], executor=executor)

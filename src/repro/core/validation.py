@@ -42,7 +42,14 @@ from ..orchestration.grouping import (
 )
 from ..orchestration.provenance import Provenance
 from ..runtime.executor import Executor, RuntimeStats, spawn_seeds
+from ..scenarios.adapter import population_records
+from ..scenarios.base import Scenario
 from .config import CLEARConfig
+
+#: Any population the Table-I drivers accept: the eager WEMAC corpus, a
+#: streamed Scenario (materialized through the sanctioned adapter), or
+#: any object exposing ``.subjects`` / ``.num_subjects``.
+PopulationSource = Union[WEMACDataset, Scenario, object]
 from .pipeline import CLEAR
 from .results import FoldMetrics, MetricSummary
 from .trainer import fine_tune, train_on_maps_cached
@@ -69,7 +76,7 @@ def _general_fold_unit(args: Tuple) -> Tuple[FoldMetrics, int, int]:
 
 
 def evaluate_general_model(
-    dataset: WEMACDataset,
+    dataset: PopulationSource,
     config: Optional[CLEARConfig] = None,
     group_size: Optional[int] = None,
     max_folds: Optional[int] = None,
@@ -83,6 +90,7 @@ def evaluate_general_model(
     """
     config = config or CLEARConfig()
     cache_dir = normalize_cache_dir(cache_dir)
+    dataset = population_records(dataset, executor=executor, cache_dir=cache_dir)
     rng = np.random.default_rng(config.seed)
     if group_size is None:
         group_size = max(2, dataset.num_subjects // config.num_clusters)
@@ -159,7 +167,7 @@ def _cl_fold_unit(
 
 
 def cl_validation(
-    dataset: WEMACDataset,
+    dataset: PopulationSource,
     config: Optional[CLEARConfig] = None,
     max_folds: Optional[int] = None,
     executor: Optional[Executor] = None,
@@ -174,6 +182,7 @@ def cl_validation(
     """
     config = config or CLEARConfig()
     cache_dir = normalize_cache_dir(cache_dir)
+    dataset = population_records(dataset, executor=executor, cache_dir=cache_dir)
     maps_by = group_maps_by_subject(dataset)
 
     from ..clustering.global_clustering import GlobalClustering
@@ -319,7 +328,7 @@ def _clear_fold_unit(args: Tuple) -> Dict[str, object]:
 
 
 def clear_validation(
-    dataset: WEMACDataset,
+    dataset: PopulationSource,
     config: Optional[CLEARConfig] = None,
     with_fine_tuning: bool = True,
     max_folds: Optional[int] = None,
@@ -348,6 +357,7 @@ def clear_validation(
     """
     config = config or CLEARConfig()
     cache_dir = normalize_cache_dir(cache_dir)
+    dataset = population_records(dataset, executor=executor, cache_dir=cache_dir)
 
     subjects = dataset.subjects if max_folds is None else dataset.subjects[:max_folds]
     seeds = spawn_seeds(config.seed, len(subjects))

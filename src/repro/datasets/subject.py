@@ -21,7 +21,7 @@ consistent ones — reproducing Table I's General < CL ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -138,17 +138,21 @@ def sample_subject(
     archetype_id: int,
     rng: np.random.Generator,
     jitter: float = 0.12,
+    base_params: Optional[ArchetypeParams] = None,
 ) -> SubjectProfile:
     """Draw an individual around an archetype.
 
     ``jitter`` is the relative std of multiplicative noise applied to
     every archetype parameter (additive for parameters near zero).
+    ``base_params`` overrides the canonical archetype parameters —
+    scenario population dynamics pass drifted blends here while keeping
+    the canonical ``archetype_id`` as ground truth.
     """
     if not 0 <= archetype_id < NUM_ARCHETYPES:
         raise ValueError(
             f"archetype_id must be in [0, {NUM_ARCHETYPES}), got {archetype_id}"
         )
-    base = ARCHETYPES[archetype_id]
+    base = base_params if base_params is not None else ARCHETYPES[archetype_id]
 
     def jit(value: float, scale: float = 1.0) -> float:
         spread = abs(value) * jitter * scale

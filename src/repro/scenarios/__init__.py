@@ -1,0 +1,94 @@
+"""Streamed population scenarios: typed specs, lazy subjects, dynamics.
+
+The :class:`~repro.scenarios.base.Scenario` protocol is the population
+interface the rest of the stack consumes: WEMAC fear/no-fear, circumplex
+valence/arousal, and wearable stress detection are all one protocol
+implementation apart, and every consumer — extraction, clustering,
+validation, serving load generation — streams subjects in bounded
+chunks instead of materializing populations (lint rule RPR021 keeps
+whole-population views confined to this package).
+"""
+
+from .adapter import base_corpus, population_records
+from .base import (
+    FEATURE_BLOCKS,
+    MODALITIES,
+    REFERENCE_DEVICE,
+    STATIONARY,
+    DeviceProfile,
+    LabelSpace,
+    MaterializedPopulation,
+    PopulationDynamics,
+    Scenario,
+    ScenarioSubject,
+    archetype_counts,
+    archetype_for_slot,
+    scenario_fingerprint,
+    subject_rng,
+)
+from .circumplex import CIRCUMPLEX_LABELS, circumplex_scenario
+from .devices import mask_missing_modalities, screen_subject_maps
+from .pipeline import (
+    ScenarioScore,
+    ScenarioStreamReport,
+    nmi_from_contingency,
+    purity_from_contingency,
+    run_scenario_stream,
+)
+from .registry import (
+    SCALES,
+    SCENARIO_FACTORIES,
+    available_scenarios,
+    get_scenario,
+)
+from .stress import MIXED_WEARABLES, STRESS_LABELS, stress_scenario
+from .synthetic import FeatureSpaceConfig, FeatureSpaceScenario
+from .wemac import (
+    FEAR_LABELS,
+    WEMACScenario,
+    WEMACScenarioConfig,
+    blend_archetypes,
+    wemac_scenario,
+)
+
+__all__ = [
+    "FEATURE_BLOCKS",
+    "MODALITIES",
+    "REFERENCE_DEVICE",
+    "STATIONARY",
+    "DeviceProfile",
+    "LabelSpace",
+    "MaterializedPopulation",
+    "PopulationDynamics",
+    "Scenario",
+    "ScenarioSubject",
+    "archetype_counts",
+    "archetype_for_slot",
+    "scenario_fingerprint",
+    "subject_rng",
+    "mask_missing_modalities",
+    "screen_subject_maps",
+    "population_records",
+    "base_corpus",
+    "ScenarioScore",
+    "ScenarioStreamReport",
+    "run_scenario_stream",
+    "purity_from_contingency",
+    "nmi_from_contingency",
+    "SCALES",
+    "SCENARIO_FACTORIES",
+    "available_scenarios",
+    "get_scenario",
+    "CIRCUMPLEX_LABELS",
+    "circumplex_scenario",
+    "MIXED_WEARABLES",
+    "STRESS_LABELS",
+    "stress_scenario",
+    "FeatureSpaceConfig",
+    "FeatureSpaceScenario",
+    "FEAR_LABELS",
+    "WEMACScenario",
+    "WEMACScenarioConfig",
+    "blend_archetypes",
+    "wemac_scenario",
+]

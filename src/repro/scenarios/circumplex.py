@@ -1,0 +1,66 @@
+"""Circumplex valence/arousal scenario (four affect quadrants).
+
+The deep-seeded clustering line of work (arXiv 2308.09013) runs the
+same cluster-then-adapt recipe on circumplex affect labels instead of
+binary fear.  This scenario reproduces that label space: four classes
+at the quadrants of the valence/arousal plane, realized as angles on a
+2D latent plane embedded in the 123-feature space (see
+``label_geometry="circumplex"`` in :mod:`.synthetic`), with archetype
+cluster structure orthogonal to the label plane.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .base import (
+    REFERENCE_DEVICE,
+    STATIONARY,
+    DeviceProfile,
+    LabelSpace,
+    PopulationDynamics,
+)
+from .synthetic import FeatureSpaceConfig, FeatureSpaceScenario
+
+#: Quadrants of the valence/arousal plane, counter-clockwise from
+#: high-valence/high-arousal (excited) to low-valence/low-arousal (sad).
+CIRCUMPLEX_LABELS = LabelSpace(
+    name="circumplex",
+    classes=(
+        "high_valence_high_arousal",
+        "low_valence_high_arousal",
+        "low_valence_low_arousal",
+        "high_valence_low_arousal",
+    ),
+)
+
+
+def circumplex_scenario(
+    num_subjects: int = 64,
+    seed: int = 0,
+    maps_per_subject: int = 8,
+    windows_per_map: int = 4,
+    num_archetypes: int = 4,
+    chunk_size: int = 256,
+    dynamics: Optional[PopulationDynamics] = None,
+    devices: Optional[Tuple[DeviceProfile, ...]] = None,
+    name: Optional[str] = None,
+) -> FeatureSpaceScenario:
+    """A streamed circumplex valence/arousal population."""
+    if dynamics is None:
+        dynamics = STATIONARY
+    if devices is None:
+        devices = (REFERENCE_DEVICE,)
+    config = FeatureSpaceConfig(
+        name=name if name is not None else "circumplex",
+        label_space=CIRCUMPLEX_LABELS,
+        num_subjects=num_subjects,
+        num_archetypes=num_archetypes,
+        maps_per_subject=maps_per_subject,
+        windows_per_map=windows_per_map,
+        label_geometry="circumplex",
+        dynamics=dynamics,
+        devices=devices,
+        seed=seed,
+    )
+    return FeatureSpaceScenario(config, chunk_size=chunk_size)

@@ -1,0 +1,63 @@
+"""Device-heterogeneity screening for streamed subjects.
+
+A :class:`~repro.scenarios.base.DeviceProfile` with missing modalities
+produces feature maps whose dead blocks are non-finite.  Rather than
+silently zeroing them, the screen routes every map through the
+resilience guards — :func:`~repro.resilience.guards.screen_features`
+locates the dead entries and
+:func:`~repro.resilience.guards.impute_features` fills them — so device
+gaps flow through the exact machinery a production fault would, and the
+imputation count is recorded on the subject.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..resilience.guards import impute_features, screen_features
+from ..signals.feature_map import FeatureMap
+from .base import FEATURE_BLOCKS, DeviceProfile
+
+
+def mask_missing_modalities(
+    values: np.ndarray, device: DeviceProfile
+) -> np.ndarray:
+    """NaN out the feature blocks of modalities the device lacks."""
+    masked = np.asarray(values, dtype=np.float64).copy()
+    for modality in device.missing_modalities:
+        masked[FEATURE_BLOCKS[modality], :] = np.nan
+    return masked
+
+
+def screen_subject_maps(
+    maps: Sequence[FeatureMap], device: DeviceProfile, fill: float = 0.0
+) -> Tuple[List[FeatureMap], int]:
+    """Screen + impute every map for a device; returns (maps, imputed).
+
+    With a fully-equipped device this is the identity (zero copies of
+    the guard path are spent on the common case).  Otherwise each map's
+    dead blocks are masked, located by the feature screen, and imputed
+    with ``fill`` — mirroring the degradation policy's "impute a dead
+    modality" arm — and the total imputed entry count is returned for
+    the subject's accounting.
+    """
+    if not device.missing_modalities:
+        return list(maps), 0
+    screened: List[FeatureMap] = []
+    imputed = 0
+    for fmap in maps:
+        masked = mask_missing_modalities(fmap.values, device)
+        flat = masked.ravel()
+        report = screen_features(flat)
+        clean = impute_features(flat, report.bad_indices, fill=fill)
+        imputed += len(report.bad_indices)
+        screened.append(
+            FeatureMap(
+                clean.reshape(masked.shape),
+                label=fmap.label,
+                subject_id=fmap.subject_id,
+            )
+        )
+    return screened, imputed

@@ -1,0 +1,282 @@
+"""Streamed generate → extract → cluster → score as a Stage graph.
+
+Three stages with :class:`~repro.analysis.dataflow.shapeflow.ArtifactSpec`
+contracts on the array edges:
+
+* ``signature_model`` — pass 1 over the scenario stream: bounded
+  signature chunks feed :class:`~repro.clustering.streaming.StreamingKMeans`
+  (exact or minibatch).
+* ``centers`` — the typed (k, F) center matrix projected from the
+  fitted model; its spec is checked against the scoring stage's
+  declared input at graph build time.
+* ``scores`` — pass 2 over the (re-iterated, pure) stream: per-chunk
+  assignment accumulates the archetype × cluster contingency, label
+  counts, scaled inertia, and a bounded head sample for the silhouette
+  — every accumulator is O(k · A + sample), never O(N).
+
+Peak memory is bounded by the chunk size in minibatch mode and by the
+(N, F) signature matrix — not the maps — in exact mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.dataflow.shapeflow import ArtifactSpec
+from ..clustering.kmeans import assign_to_centers
+from ..clustering.metrics import silhouette_score
+from ..clustering.streaming import StreamingKMeans, StreamingKMeansResult
+from ..orchestration.graph import PipelineGraph
+from ..orchestration.provenance import Provenance
+from ..orchestration.stage import Stage, StageContext
+from ..runtime.executor import Executor
+from ..signals.feature_map import signature_matrix
+from .base import Scenario
+
+
+def purity_from_contingency(contingency: np.ndarray) -> float:
+    """Fraction of subjects whose cluster is dominated by their archetype."""
+    c = np.asarray(contingency, dtype=np.float64)
+    total = c.sum()
+    if total == 0:
+        return 0.0
+    return float(c.max(axis=0).sum() / total)
+
+
+def nmi_from_contingency(contingency: np.ndarray) -> float:
+    """Normalized mutual information (sqrt normalization) from counts."""
+    c = np.asarray(contingency, dtype=np.float64)
+    total = c.sum()
+    if total == 0:
+        return 0.0
+    p = c / total
+    pa = p.sum(axis=1)
+    pb = p.sum(axis=0)
+    nonzero = p > 0
+    outer = np.outer(pa, pb)
+    mi = float(np.sum(p[nonzero] * np.log(p[nonzero] / outer[nonzero])))
+    ha = float(-np.sum(pa[pa > 0] * np.log(pa[pa > 0])))
+    hb = float(-np.sum(pb[pb > 0] * np.log(pb[pb > 0])))
+    denom = float(np.sqrt(ha * hb))
+    return mi / denom if denom > 0 else 0.0
+
+
+@dataclass
+class ScenarioScore:
+    """Streaming accuracy/structure metrics for one scenario run."""
+
+    scenario: str
+    num_subjects: int
+    k: int
+    mode: str
+    chunk_size: int
+    contingency: np.ndarray  # (num_archetypes, k) subject counts
+    label_counts: np.ndarray  # (num_classes,) map counts
+    cluster_sizes: np.ndarray  # (k,) subject counts
+    inertia: float  # scaled-space, summed over the stream
+    archetype_purity: float
+    nmi: float
+    silhouette: float  # on the bounded head sample
+    silhouette_sample: int
+    churned_subjects: int
+    imputed_features: int
+
+    def __repro_content__(self) -> Tuple:
+        return (
+            "ScenarioScore",
+            self.scenario,
+            self.num_subjects,
+            self.k,
+            self.mode,
+            self.chunk_size,
+            self.contingency,
+            self.label_counts,
+            self.cluster_sizes,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready record for the cross-scenario accuracy matrix."""
+        return {
+            "scenario": self.scenario,
+            "num_subjects": int(self.num_subjects),
+            "k": int(self.k),
+            "mode": self.mode,
+            "chunk_size": int(self.chunk_size),
+            "archetype_purity": round(float(self.archetype_purity), 6),
+            "nmi": round(float(self.nmi), 6),
+            "silhouette": round(float(self.silhouette), 6),
+            "silhouette_sample": int(self.silhouette_sample),
+            "inertia": round(float(self.inertia), 6),
+            "cluster_sizes": [int(n) for n in self.cluster_sizes],
+            "label_counts": [int(n) for n in self.label_counts],
+            "churned_subjects": int(self.churned_subjects),
+            "imputed_features": int(self.imputed_features),
+        }
+
+
+@dataclass
+class ScenarioStreamReport:
+    """Outcome of one streamed scenario clustering run."""
+
+    scenario: Dict
+    model: StreamingKMeansResult
+    score: ScenarioScore
+    provenance: Tuple[Provenance, ...] = ()
+    graph: str = ""
+
+    def __repro_content__(self) -> Tuple:
+        return ("ScenarioStreamReport", self.score, self.model.centers)
+
+
+def run_scenario_stream(
+    scenario: Scenario,
+    k: Optional[int] = None,
+    mode: str = "exact",
+    chunk_size: Optional[int] = None,
+    n_init: int = 8,
+    sample_size: int = 256,
+    executor: Optional[Executor] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> ScenarioStreamReport:
+    """Generate → extract → cluster → score one scenario, streamed.
+
+    ``k`` defaults to the scenario's archetype count.  The scenario is
+    iterated twice (fit, then score); both passes re-derive subjects
+    from their spawned streams, so the two passes see byte-identical
+    data without either ever holding the population.
+    """
+    k_clusters = int(k) if k is not None else scenario.num_archetypes
+    chunk = int(chunk_size) if chunk_size is not None else scenario.chunk_size
+    if sample_size < 0:
+        raise ValueError("sample_size must be >= 0")
+    num_features = scenario.num_features
+    centers_spec = ArtifactSpec(
+        shape=(k_clusters, num_features), dtype="float64"
+    )
+
+    def _fit_stage(ctx: StageContext) -> StreamingKMeansResult:
+        streamer = StreamingKMeans(
+            k_clusters, mode=mode, n_init=n_init, seed=scenario.seed
+        )
+        chunks = (
+            signature_matrix(subjects)
+            for subjects in scenario.iter_chunks(
+                chunk_size=chunk,
+                executor=ctx.executor,
+                cache_dir=ctx.cache_dir,
+            )
+        )
+        fitted = streamer.fit_chunks(chunks, executor=ctx.executor)
+        ctx.set_units(-(-scenario.num_subjects // chunk))
+        return fitted
+
+    def _centers_stage(
+        ctx: StageContext, signature_model: StreamingKMeansResult
+    ) -> np.ndarray:
+        del ctx
+        return np.ascontiguousarray(
+            np.asarray(signature_model.centers, dtype=np.float64)
+        )
+
+    def _score_stage(
+        ctx: StageContext,
+        signature_model: StreamingKMeansResult,
+        centers: np.ndarray,
+    ) -> ScenarioScore:
+        contingency = np.zeros(
+            (scenario.num_archetypes, k_clusters), dtype=np.int64
+        )
+        label_counts = np.zeros(scenario.num_classes, dtype=np.int64)
+        cluster_sizes = np.zeros(k_clusters, dtype=np.int64)
+        inertia = 0.0
+        churned = 0
+        imputed = 0
+        sample_rows: List[np.ndarray] = []
+        sample_labels: List[int] = []
+        sampled = 0
+        for subjects in scenario.iter_chunks(
+            chunk_size=chunk, executor=ctx.executor, cache_dir=ctx.cache_dir
+        ):
+            rows = signature_matrix(subjects)
+            scaled = signature_model.scale(rows)
+            labels = assign_to_centers(scaled, centers)
+            delta = scaled - centers[labels]
+            inertia += float(np.sum(delta * delta))
+            for subject, cluster in zip(subjects, labels):
+                contingency[subject.archetype_id, int(cluster)] += 1
+                cluster_sizes[int(cluster)] += 1
+                churned += 1 if subject.generation else 0
+                imputed += subject.imputed_features
+                for label in subject.labels:
+                    label_counts[int(label)] += 1
+            if sampled < sample_size:
+                take = min(sample_size - sampled, rows.shape[0])
+                sample_rows.append(scaled[:take])
+                sample_labels.extend(int(c) for c in labels[:take])
+                sampled += take
+        silhouette = 0.0
+        if sample_rows and len(set(sample_labels)) >= 2:
+            silhouette = silhouette_score(
+                np.concatenate(sample_rows, axis=0),
+                np.asarray(sample_labels),
+            )
+        return ScenarioScore(
+            scenario=scenario.name,
+            num_subjects=scenario.num_subjects,
+            k=k_clusters,
+            mode=mode,
+            chunk_size=chunk,
+            contingency=contingency,
+            label_counts=label_counts,
+            cluster_sizes=cluster_sizes,
+            inertia=inertia,
+            archetype_purity=purity_from_contingency(contingency),
+            nmi=nmi_from_contingency(contingency),
+            silhouette=float(silhouette),
+            silhouette_sample=sampled,
+            churned_subjects=churned,
+            imputed_features=imputed,
+        )
+
+    graph = PipelineGraph(
+        f"scenario_stream_{scenario.name}",
+        [
+            Stage(
+                name="signature_model",
+                fn=_fit_stage,
+                config=scenario.describe(),
+                seed=scenario.seed,
+            ),
+            Stage(
+                name="centers",
+                fn=_centers_stage,
+                requires=("signature_model",),
+                config=scenario.describe(),
+                seed=scenario.seed,
+                output_spec=centers_spec,
+            ),
+            Stage(
+                name="scores",
+                fn=_score_stage,
+                requires=("signature_model", "centers"),
+                input_specs={"centers": centers_spec},
+                config=scenario.describe(),
+                seed=scenario.seed,
+            ),
+        ],
+    )
+    run = graph.run(executor=executor, cache_dir=cache_dir, seed=scenario.seed)
+    return ScenarioStreamReport(
+        scenario=scenario.describe(),
+        model=run.value("signature_model"),
+        score=run.value("scores"),
+        provenance=tuple(
+            run.provenance(name)
+            for name in ("signature_model", "centers", "scores")
+        ),
+        graph=graph.name,
+    )

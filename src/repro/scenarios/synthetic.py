@@ -1,0 +1,239 @@
+"""Feature-space scenario family: cheap populations at 100k scale.
+
+The WEMAC scenario simulates raw physiology and extracts features —
+faithful but expensive (tens of milliseconds per subject).  For
+scale-out benchmarks and alternative label spaces the feature-space
+family generates :class:`~repro.signals.feature_map.FeatureMap` values
+directly from an archetype-structured distribution over the same
+123-feature space:
+
+* Each archetype owns a mean vector (drawn once from the scenario's
+  population stream), separated enough to be clusterable.
+* Each label class owns a direction the class shifts features along.
+  ``label_geometry="independent"`` draws per-class directions
+  independently; ``"circumplex"`` places classes at angles on a 2D
+  valence/arousal plane spanned by two latent axes (arXiv 2308.09013's
+  label space).
+* ``archetype_gain_spread`` scales how strongly each archetype
+  expresses its labels (blunted vs reactive responders) — the
+  "one general model underfits" structure, archetype-conditioned.
+
+Generation is a pure function of ``(config, subject_id, generation)``,
+so the family streams with O(1) random access like every Scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..signals.feature_map import build_feature_map
+from ..signals.features import NUM_FEATURES
+from .base import (
+    REFERENCE_DEVICE,
+    STATIONARY,
+    DeviceProfile,
+    LabelSpace,
+    PopulationDynamics,
+    Scenario,
+    ScenarioSubject,
+    archetype_for_slot,
+    drift_alpha,
+    pick_device,
+    population_rng,
+    subject_rng,
+)
+from .devices import screen_subject_maps
+
+#: Population-stream tags (spawn-key second component) for the banks.
+_ARCHETYPE_TAG = 1
+_LABEL_TAG = 2
+_GAIN_TAG = 3
+
+
+@dataclass(frozen=True)
+class FeatureSpaceConfig:
+    """Picklable per-subject build config for the feature-space family."""
+
+    name: str
+    label_space: LabelSpace
+    num_subjects: int
+    num_archetypes: int = 4
+    maps_per_subject: int = 6
+    windows_per_map: int = 4
+    num_features: int = NUM_FEATURES
+    #: Distance between archetype means, in noise units.
+    separation: float = 6.0
+    #: How strongly a label shifts features along its class direction.
+    label_effect: float = 3.0
+    #: Per-subject spread around the archetype mean.
+    subject_jitter: float = 0.8
+    #: Per-window observation noise.
+    noise: float = 1.0
+    #: "independent" per-class directions, or "circumplex" (classes at
+    #: angles on a 2D valence/arousal plane).
+    label_geometry: str = "independent"
+    #: Relative spread of per-archetype label-expression gains
+    #: (0 = every archetype expresses labels identically).
+    archetype_gain_spread: float = 0.0
+    dynamics: PopulationDynamics = STATIONARY
+    devices: Tuple[DeviceProfile, ...] = (REFERENCE_DEVICE,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_archetypes < 2:
+            raise ValueError("need >= 2 archetypes for cluster structure")
+        if self.num_subjects < self.num_archetypes:
+            raise ValueError("need at least one subject per archetype")
+        if self.maps_per_subject < 2 or self.windows_per_map < 1:
+            raise ValueError("need >= 2 maps and >= 1 window per map")
+        if self.num_features < 3:
+            raise ValueError("need >= 3 features")
+        if self.label_geometry not in ("independent", "circumplex"):
+            raise ValueError(
+                f"unknown label_geometry {self.label_geometry!r}"
+            )
+        if self.archetype_gain_spread < 0:
+            raise ValueError("archetype_gain_spread must be >= 0")
+
+
+@lru_cache(maxsize=16)
+def archetype_means(config: FeatureSpaceConfig) -> np.ndarray:
+    """(A, F) archetype mean bank — a pure function of the config.
+
+    Memoized per process (configs are frozen/hashable and the bank is
+    read-only), so streaming 100k subjects re-derives it once, not
+    100k times.
+    """
+    rng = population_rng(config.seed, tag=_ARCHETYPE_TAG)
+    directions = rng.standard_normal(
+        (config.num_archetypes, config.num_features)
+    )
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    return config.separation * directions / np.maximum(norms, 1e-12)
+
+
+@lru_cache(maxsize=16)
+def label_directions(config: FeatureSpaceConfig) -> np.ndarray:
+    """(C, F) unit class directions under the configured geometry."""
+    rng = population_rng(config.seed, tag=_LABEL_TAG)
+    num_classes = config.label_space.num_classes
+    if config.label_geometry == "circumplex":
+        # Two latent axes span the valence/arousal plane; class c sits
+        # at angle 2*pi*c/C, so opposite quadrants shift features in
+        # opposite directions — the circumplex structure itself.
+        axes = rng.standard_normal((2, config.num_features))
+        axes /= np.maximum(
+            np.linalg.norm(axes, axis=1, keepdims=True), 1e-12
+        )
+        angles = 2.0 * np.pi * np.arange(num_classes) / num_classes
+        directions = (
+            np.cos(angles)[:, None] * axes[0][None, :]
+            + np.sin(angles)[:, None] * axes[1][None, :]
+        )
+    else:
+        directions = rng.standard_normal((num_classes, config.num_features))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    return directions / np.maximum(norms, 1e-12)
+
+
+@lru_cache(maxsize=16)
+def archetype_gains(config: FeatureSpaceConfig) -> np.ndarray:
+    """(A,) label-expression gain per archetype (>= 0.1)."""
+    if config.archetype_gain_spread == 0.0:
+        return np.ones(config.num_archetypes)
+    rng = population_rng(config.seed, tag=_GAIN_TAG)
+    gains = 1.0 + config.archetype_gain_spread * rng.standard_normal(
+        config.num_archetypes
+    )
+    return np.maximum(gains, 0.1)
+
+
+class FeatureSpaceScenario(Scenario):
+    """Archetype-structured population generated directly in feature space."""
+
+    def __init__(self, config: FeatureSpaceConfig, chunk_size: int = 256):
+        self.config = config
+        super().__init__(
+            name=config.name,
+            label_space=config.label_space,
+            num_subjects=config.num_subjects,
+            seed=config.seed,
+            chunk_size=chunk_size,
+            num_archetypes=config.num_archetypes,
+            num_features=config.num_features,
+            dynamics=config.dynamics,
+            devices=config.devices,
+        )
+
+    def build_config(self) -> FeatureSpaceConfig:
+        return self.config
+
+    @classmethod
+    def build_subject(
+        cls,
+        config: FeatureSpaceConfig,
+        subject_id: int,
+        cache_dir: Optional[str] = None,
+    ) -> ScenarioSubject:
+        # Feature-space generation is cheap enough that the content
+        # cache would cost more than it saves; cache_dir is accepted
+        # for contract uniformity and ignored.
+        del cache_dir
+        dynamics = config.dynamics
+        rng = subject_rng(config.seed, subject_id, generation=0)
+        generation = 0
+        if dynamics.churn_rate > 0.0 and rng.uniform() < dynamics.churn_rate:
+            generation = 1
+            rng = subject_rng(config.seed, subject_id, generation=generation)
+        weights = tuple([1.0] * config.num_archetypes)
+        archetype_id = archetype_for_slot(
+            weights, config.num_subjects, subject_id
+        )
+        means = archetype_means(config)
+        alpha = drift_alpha(dynamics, config.num_subjects, subject_id)
+        mean = (1.0 - alpha) * means[archetype_id] + alpha * means[
+            (archetype_id + 1) % config.num_archetypes
+        ]
+        directions = label_directions(config)
+        gain = float(archetype_gains(config)[archetype_id])
+        device = pick_device(config.devices, rng)
+
+        subject_mean = mean + config.subject_jitter * rng.standard_normal(
+            config.num_features
+        )
+        num_classes = config.label_space.num_classes
+        labels = rng.permutation(
+            np.tile(
+                np.arange(num_classes),
+                -(-config.maps_per_subject // num_classes),
+            )[: config.maps_per_subject]
+        )
+        maps = []
+        for label in labels:
+            intensity = gain * float(rng.uniform(0.6, 1.4))
+            windows = (
+                subject_mean[None, :]
+                + config.label_effect * intensity * directions[int(label)]
+                + config.noise
+                * rng.standard_normal(
+                    (config.windows_per_map, config.num_features)
+                )
+            )
+            maps.append(
+                build_feature_map(
+                    windows, label=int(label), subject_id=subject_id
+                )
+            )
+        screened, imputed = screen_subject_maps(maps, device)
+        return ScenarioSubject(
+            subject_id=subject_id,
+            archetype_id=archetype_id,
+            maps=screened,
+            device=device,
+            generation=generation,
+            imputed_features=imputed,
+        )

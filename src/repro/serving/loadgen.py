@@ -56,6 +56,13 @@ class LoadScenario:
     perturbation:
         Relative noise scale applied to the base subject's maps when
         synthesizing a user (0 clones the subject exactly).
+    name:
+        Population scenario the base corpus was drawn from (e.g. a
+        :mod:`repro.scenarios` name — see
+        :func:`repro.scenarios.base_corpus`).  Folded into the results
+        fingerprint so golden digests pinned for one population can
+        never silently collide with another's.  Empty (the legacy
+        anonymous corpus) leaves digests exactly as before.
     """
 
     num_users: int = 1000
@@ -68,6 +75,7 @@ class LoadScenario:
     fine_tune_after: int = 2
     fine_tune_maps: int = 2
     perturbation: float = 0.05
+    name: str = ""
 
     def __post_init__(self) -> None:
         if self.num_users < 1:
@@ -186,11 +194,12 @@ class LoadReport:
     rejections: int = 0
     personalizations: int = 0
     virtual_duration_s: float = 0.0
+    scenario: str = ""
 
     def fingerprint(self) -> str:
         from .service import results_fingerprint
 
-        return results_fingerprint(self.results)
+        return results_fingerprint(self.results, scenario=self.scenario or None)
 
     def latency_percentiles(
         self, percentiles: Sequence[float] = (50.0, 99.0), wall: bool = False
@@ -215,6 +224,7 @@ class LoadReport:
 
     def summary(self) -> Dict:
         return {
+            "scenario": self.scenario,
             "decisions": len(self.results),
             "connects": self.connects,
             "submits": self.submits,
@@ -242,7 +252,7 @@ def run_load(
     """
     if events is None:
         events = scenario_events(scenario, base_maps)
-    report = LoadReport()
+    report = LoadReport(scenario=scenario.name)
     clock = service.clock
     advance = getattr(clock, "advance", None)  # FakeClock virtual time
     start = clock.now()

@@ -60,7 +60,9 @@ class ServingResult:
     wall_latency_s: Optional[float] = None  # wall_timer latency, if timed
 
 
-def results_fingerprint(results: Sequence[ServingResult]) -> str:
+def results_fingerprint(
+    results: Sequence[ServingResult], scenario: Optional[str] = None
+) -> str:
     """SHA-256 over the order-independent decision content.
 
     Covers ``(user, request, raw, smoothed, probabilities, fallback?)``
@@ -68,8 +70,17 @@ def results_fingerprint(results: Sequence[ServingResult]) -> str:
     decisions fingerprint identically no matter how their batches were
     coalesced or interleaved.  Batch sizes and latencies are serving
     accounting, not decisions, and are deliberately excluded.
+
+    ``scenario`` domain-separates the digest: golden fingerprints pinned
+    for one named population can never silently collide with another
+    scenario's decision stream.  ``None`` (the legacy anonymous corpus)
+    hashes exactly as before, so existing pinned digests are unchanged.
     """
     h = hashlib.sha256()
+    if scenario:
+        h.update(b"scenario\x00")
+        h.update(str(scenario).encode())
+        h.update(b"\x00")
     ordered = sorted(
         results, key=lambda r: (int(r.user_id), int(r.request_index))
     )

@@ -231,3 +231,19 @@ def subject_signature(maps: Sequence[FeatureMap]) -> np.ndarray:
         raise ValueError("cannot summarize an empty set of maps")
     per_map_means = np.stack([m.values.mean(axis=1) for m in maps], axis=0)
     return per_map_means.mean(axis=0)
+
+
+def signature_matrix(records: Sequence) -> np.ndarray:
+    """(n, F) stacked signatures for a chunk of subject-like records.
+
+    Accepts anything carrying ``.maps`` (dataset ``SubjectRecord``s,
+    streamed ``ScenarioSubject``s).  Each row is computed independently
+    per subject, so concatenating chunk matrices row-wise is bitwise
+    identical to building one matrix from the materialized population —
+    the invariant the streaming clustering path relies on.
+    """
+    if not records:
+        raise ValueError("cannot build a signature matrix from no records")
+    return np.stack(
+        [subject_signature(record.maps) for record in records], axis=0
+    )

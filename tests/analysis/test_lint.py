@@ -91,6 +91,13 @@ class TestRuleFixtures:
             "def answer(batcher, request):\n"
             "    return batcher.submit(request)\n",
         ),
+        "RPR021": (
+            "def score(scenario):\n"
+            "    return list(scenario.iter_subjects())\n",
+            "def score(scenario):\n"
+            "    for subject in scenario.iter_subjects():\n"
+            "        use(subject)\n",
+        ),
     }
 
     # Rules whose scope excludes the default repro/nn path lint their
@@ -307,6 +314,41 @@ class TestServingBatchBypass:
             "out = model.predict_many(xs, pad_rows=32)\n",
             path=self.SERVING_PATH,
         )
+
+
+class TestPopulationMaterialization:
+    """RPR021: streamed populations stay streamed outside repro/scenarios."""
+
+    def test_sorted_wrapping_flagged(self):
+        assert "RPR021" in codes_of(
+            "subjects = sorted(scenario.iter_subjects(), key=key)\n"
+        )
+
+    def test_comprehension_over_stream_flagged(self):
+        assert "RPR021" in codes_of(
+            "sigs = [s.signature() for s in scenario.iter_subjects()]\n"
+        )
+
+    def test_iter_chunks_list_flagged(self):
+        assert "RPR021" in codes_of(
+            "chunks = list(scenario.iter_chunks(64))\n"
+        )
+
+    def test_exempt_inside_scenarios_package(self):
+        findings = lint_source(
+            "subjects = list(self.iter_subjects())\n",
+            path="src/repro/scenarios/base.py",
+        )
+        assert "RPR021" not in [f.code for f in findings]
+
+    def test_generator_expression_stays_lazy(self):
+        # A genexp doesn't materialize anything by itself.
+        assert "RPR021" not in codes_of(
+            "sigs = (s.signature() for s in scenario.iter_subjects())\n"
+        )
+
+    def test_unrelated_list_call_clean(self):
+        assert "RPR021" not in codes_of("rows = list(range(10))\n")
 
 
 class TestSuppression:

@@ -1,0 +1,160 @@
+"""Streaming k-means modes and the streamed scenario pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.streaming import (
+    StreamingKMeans,
+    fit_signature_matrix,
+)
+from repro.scenarios import (
+    circumplex_scenario,
+    run_scenario_stream,
+    stress_scenario,
+)
+from repro.signals.feature_map import signature_matrix
+
+
+def _blob_chunks(rng, chunk_sizes, num_features=8, k=3):
+    """Clusterable rows split into the requested chunk sizes."""
+    centers = rng.normal(scale=10.0, size=(k, num_features))
+    chunks = []
+    for i, n in enumerate(chunk_sizes):
+        assign = rng.integers(k, size=n)
+        chunks.append(centers[assign] + rng.normal(size=(n, num_features)))
+    del i
+    return chunks
+
+
+class TestExactMode:
+    def test_bitwise_identical_to_batch_at_any_chunking(self):
+        rng = np.random.default_rng(0)
+        chunks = _blob_chunks(rng, (7, 1, 13, 4))
+        full = np.concatenate(chunks, axis=0)
+        streamed = StreamingKMeans(3, n_init=4, seed=0).fit_chunks(
+            iter(chunks)
+        )
+        batch = fit_signature_matrix(full, 3, n_init=4, seed=0)
+        np.testing.assert_array_equal(streamed.centers, batch.centers)
+        np.testing.assert_array_equal(streamed.mean, batch.mean)
+        assert streamed.n_samples == batch.n_samples == full.shape[0]
+
+    def test_assign_round_trips_raw_rows(self):
+        rng = np.random.default_rng(1)
+        chunks = _blob_chunks(rng, (20, 20))
+        fitted = StreamingKMeans(3, n_init=4, seed=0).fit_chunks(chunks)
+        labels = fitted.assign(np.concatenate(chunks, axis=0))
+        assert labels.shape == (40,)
+        assert set(np.unique(labels)) <= set(range(3))
+        assert fitted.chunk_inertia(chunks[0]) >= 0.0
+
+    def test_no_standardize_is_identity_scaling(self):
+        rng = np.random.default_rng(2)
+        rows = rng.normal(size=(10, 4))
+        fitted = StreamingKMeans(
+            2, n_init=2, seed=0, standardize=False
+        ).fit_chunks([rows])
+        np.testing.assert_array_equal(fitted.scale(rows), rows)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty stream"):
+            StreamingKMeans(2).fit_chunks([])
+
+
+class TestMinibatchMode:
+    def test_single_pass_centers_are_deterministic(self):
+        rng = np.random.default_rng(3)
+        chunks = _blob_chunks(rng, (30, 30, 30), k=3)
+        first = StreamingKMeans(
+            3, mode="minibatch", seed=0, init_size=40
+        ).fit_chunks([c.copy() for c in chunks])
+        second = StreamingKMeans(
+            3, mode="minibatch", seed=0, init_size=40
+        ).fit_chunks([c.copy() for c in chunks])
+        np.testing.assert_array_equal(first.centers, second.centers)
+        assert first.mode == "minibatch"
+        assert first.n_samples == 90
+        assert first.n_updates >= 2
+
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(4)
+        chunks = _blob_chunks(rng, (50, 50, 50), k=3)
+        fitted = StreamingKMeans(
+            3, mode="minibatch", seed=0, init_size=60
+        ).fit_chunks(chunks)
+        # Every blob center maps to a distinct fitted cluster.
+        labels = fitted.assign(np.concatenate(chunks, axis=0))
+        assert len(set(np.unique(labels))) == 3
+
+    def test_init_smaller_than_k_rejected(self):
+        with pytest.raises(ValueError, match="init_size"):
+            StreamingKMeans(8, mode="minibatch", init_size=4)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            StreamingKMeans(2, mode="online")
+
+
+class TestScenarioPipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario = circumplex_scenario(
+            num_subjects=12, seed=0, maps_per_subject=4, chunk_size=5
+        )
+        return run_scenario_stream(scenario, n_init=8, sample_size=32)
+
+    def test_separated_archetypes_cluster_perfectly(self, report):
+        assert report.score.archetype_purity == 1.0
+        assert report.score.nmi == pytest.approx(1.0)
+
+    def test_score_accounting(self, report):
+        score = report.score
+        assert score.contingency.sum() == 12
+        assert score.cluster_sizes.sum() == 12
+        assert score.label_counts.sum() == 12 * 4
+        assert score.silhouette_sample == 12
+        assert score.churned_subjects == 0
+
+    def test_graph_provenance_recorded(self, report):
+        assert report.graph == "scenario_stream_circumplex"
+        assert [p.stage for p in report.provenance] == [
+            "signature_model",
+            "centers",
+            "scores",
+        ]
+
+    def test_to_dict_is_json_ready(self, report):
+        import json
+
+        record = report.score.to_dict()
+        assert json.loads(json.dumps(record)) == record
+        assert record["scenario"] == "circumplex"
+        assert record["mode"] == "exact"
+
+    def test_exact_stream_matches_materialized_fit(self, report):
+        scenario = circumplex_scenario(
+            num_subjects=12, seed=0, maps_per_subject=4, chunk_size=5
+        )
+        full = signature_matrix(scenario.materialize().subjects)
+        batch = fit_signature_matrix(full, 4, n_init=8, seed=0)
+        np.testing.assert_array_equal(report.model.centers, batch.centers)
+
+    def test_minibatch_mode_runs_end_to_end(self):
+        scenario = stress_scenario(
+            num_subjects=16, seed=0, maps_per_subject=4, chunk_size=4
+        )
+        report = run_scenario_stream(
+            scenario, mode="minibatch", n_init=2, sample_size=16
+        )
+        assert report.score.mode == "minibatch"
+        assert report.model.centers.shape == (3, 123)
+        assert np.isfinite(report.model.centers).all()
+
+    def test_rerun_is_deterministic(self):
+        scenario = circumplex_scenario(
+            num_subjects=8, seed=5, maps_per_subject=3, chunk_size=3
+        )
+        a = run_scenario_stream(scenario, n_init=2, sample_size=8)
+        b = run_scenario_stream(scenario, n_init=2, sample_size=8)
+        np.testing.assert_array_equal(a.model.centers, b.model.centers)
+        assert a.score.to_dict() == b.score.to_dict()

@@ -199,3 +199,56 @@ class TestGoldenScenarioFingerprint:
         assert default_backend().name == "reference"
         report = run_load(_service(serving_system), TINY, tiny_maps_by_subject)
         assert report.fingerprint() == self.PINNED
+
+
+class TestScenarioFingerprintDomain:
+    """Named populations domain-separate the fingerprint; unnamed don't."""
+
+    def test_unnamed_scenario_digest_unchanged(
+        self, serving_system, tiny_maps_by_subject
+    ):
+        from repro.serving.service import results_fingerprint
+
+        report = run_load(_service(serving_system), TINY, tiny_maps_by_subject)
+        assert report.scenario == ""
+        # An empty scenario name must hash exactly like the pre-scenario
+        # code path, or every pinned golden digest silently moves.
+        assert report.fingerprint() == results_fingerprint(report.results)
+
+    def test_named_scenarios_cannot_collide(
+        self, serving_system, tiny_maps_by_subject
+    ):
+        from dataclasses import replace
+
+        from repro.serving.service import results_fingerprint
+
+        named = replace(TINY, name="wemac")
+        report = run_load(_service(serving_system), named, tiny_maps_by_subject)
+        assert report.scenario == "wemac"
+        assert report.summary()["scenario"] == "wemac"
+        anonymous = results_fingerprint(report.results)
+        assert report.fingerprint() != anonymous
+        assert report.fingerprint() != results_fingerprint(
+            report.results, scenario="stress"
+        )
+        # Same decisions, same name -> same digest.
+        assert report.fingerprint() == results_fingerprint(
+            report.results, scenario="wemac"
+        )
+
+    def test_base_corpus_feeds_the_load_generator(self, serving_system):
+        from repro.scenarios import base_corpus, wemac_scenario
+
+        corpus = base_corpus(
+            wemac_scenario(scale="tiny", seed=0), max_subjects=4
+        )
+        scenario = LoadScenario(
+            num_users=4,
+            seed=3,
+            arrival_span_s=5.0,
+            decisions_per_user=2,
+            name="wemac_tiny",
+        )
+        report = run_load(_service(serving_system), scenario, corpus)
+        assert len(report.results) == 8
+        assert report.scenario == "wemac_tiny"

@@ -12,7 +12,14 @@ from repro.edge import quantize_dequantize_fp16, quantize_dequantize_int8
 from repro.nn.activations import log_softmax, sigmoid, softmax
 from repro.nn.layers.conv import col2im, im2col
 from repro.nn.metrics import accuracy, confusion_matrix, precision_recall_f1
+from repro.clustering.streaming import StreamingKMeans, fit_signature_matrix
+from repro.scenarios import (
+    PopulationDynamics,
+    circumplex_scenario,
+    scenario_fingerprint,
+)
 from repro.signals import FeatureMap, FeatureNormalizer
+from repro.signals.feature_map import signature_matrix
 from repro.signals.windows import num_windows, sliding_windows
 
 finite_floats = st.floats(
@@ -221,3 +228,56 @@ class TestTrainingInvariantProperties:
         layer.grads["W"] = 2.0 * (layer.params["W"] - target)
         nn.SGD(lr=0.01).step([layer])
         assert loss() <= before + 1e-12
+
+
+class TestScenarioStreamingProperties:
+    """The streaming population contract, for *any* seed and chunk size."""
+
+    @staticmethod
+    def _scenario(seed, dynamics=None):
+        return circumplex_scenario(
+            num_subjects=6,
+            seed=seed,
+            maps_per_subject=3,
+            windows_per_map=2,
+            dynamics=dynamics,
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_streamed_equals_materialized(self, seed, chunk):
+        scenario = self._scenario(seed)
+        streamed = scenario_fingerprint(
+            scenario.iter_subjects(chunk_size=chunk)
+        )
+        materialized = scenario_fingerprint(scenario.materialize().subjects)
+        assert streamed == materialized
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 5),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(0.0, 0.9, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dynamics_preserve_chunk_invariance(self, seed, chunk, drift, churn):
+        dynamics = PopulationDynamics(archetype_drift=drift, churn_rate=churn)
+        scenario = self._scenario(seed, dynamics=dynamics)
+        streamed = scenario_fingerprint(
+            scenario.iter_subjects(chunk_size=chunk)
+        )
+        one_by_one = scenario_fingerprint(scenario.iter_subjects(chunk_size=1))
+        assert streamed == one_by_one
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 7))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_stream_bitwise_equals_batch(self, seed, chunk):
+        scenario = self._scenario(seed)
+        chunks = (
+            signature_matrix(c)
+            for c in scenario.iter_chunks(chunk_size=chunk)
+        )
+        streamed = StreamingKMeans(2, n_init=2, seed=0).fit_chunks(chunks)
+        full = signature_matrix(scenario.materialize().subjects)
+        batch = fit_signature_matrix(full, 2, n_init=2, seed=0)
+        np.testing.assert_array_equal(streamed.centers, batch.centers)

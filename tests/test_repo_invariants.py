@@ -41,6 +41,7 @@ def test_all_rules_enabled_by_default():
         "RPR018",
         "RPR019",
         "RPR020",
+        "RPR021",
     }
 
 
